@@ -1,0 +1,9 @@
+"""Shared configuration for the benchmark suite.
+
+Every benchmark wraps one experiment harness from
+:mod:`repro.experiments` (one per paper table / figure) with
+pytest-benchmark and asserts that the regenerated result keeps the
+paper's shape.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""

@@ -1,0 +1,19 @@
+"""Benchmark: Section 5 availability under strict vs lenient scheduling."""
+
+from repro.experiments import availability
+
+_FACTORS = (1.0, 1.5, 2.0)
+
+
+def test_availability_sweep(benchmark):
+    rows = benchmark(availability.run, window_factors=_FACTORS,
+                     horizon=24 * 3600.0)
+    by_factor = {row["window_factor"]: row for row in rows}
+    strict = by_factor[1.0]
+    lenient = by_factor[2.0]
+    # Collisions with the critical task do not depend on the policy...
+    assert strict["collisions"] == lenient["collisions"] > 0
+    # ...but lenient windows recover almost all aborted measurements.
+    assert strict["loss_rate"] > 0.2
+    assert lenient["loss_rate"] < 0.05
+    assert lenient["recovered"] > 0

@@ -1,0 +1,17 @@
+"""Benchmark: regenerate Figure 8 (i.MX6 measurement run-time)."""
+
+import pytest
+
+from repro.experiments import fig8_imx6_runtime
+
+
+def test_fig8_series_regeneration(benchmark):
+    rows = benchmark(fig8_imx6_runtime.run)
+    at_10mb = {row["mac"]: row for row in rows if row["memory_mb"] == 10}
+    for mac, expected in fig8_imx6_runtime.PAPER_RUNTIME_AT_10MB_S.items():
+        assert at_10mb[mac]["erasmus_s"] == pytest.approx(expected, rel=0.05)
+    # The keyed BLAKE2s curve sits below HMAC-SHA256 on this target.
+    for size in fig8_imx6_runtime.DEFAULT_MEMORY_SIZES_MB:
+        by_mac = {row["mac"]: row for row in rows if row["memory_mb"] == size}
+        assert by_mac["keyed-blake2s"]["erasmus_s"] < \
+            by_mac["hmac-sha256"]["erasmus_s"]

@@ -1,0 +1,24 @@
+"""Benchmark: Section 3.5 irregular intervals vs schedule-aware malware."""
+
+import pytest
+
+from repro.experiments import irregular_intervals
+
+_FRACTIONS = (0.6, 0.95, 1.4)
+
+
+def test_irregular_interval_sweep(benchmark):
+    rows = benchmark(irregular_intervals.run, trials=800,
+                     dwell_fractions=_FRACTIONS)
+    by_fraction = {row["dwell_over_tm"]: row for row in rows}
+    # Against a regular schedule, malware dwelling below T_M always evades.
+    assert by_fraction[0.6]["regular_evasion"] == 1.0
+    assert by_fraction[0.95]["regular_evasion"] == 1.0
+    assert by_fraction[1.4]["regular_evasion"] == 0.0
+    # The irregular schedule removes that certainty and tracks the
+    # analytic uniform-interval prediction.
+    for fraction in (0.95, 1.4):
+        row = by_fraction[fraction]
+        assert row["irregular_evasion"] < 1.0
+        assert row["irregular_evasion"] == pytest.approx(
+            row["analytic_irregular_evasion"], abs=0.1)

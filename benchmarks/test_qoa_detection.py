@@ -1,0 +1,18 @@
+"""Benchmark: the Figure 1 / QoA mobile-malware detection sweep."""
+
+from repro.experiments import qoa_detection
+
+_HORIZON = 2 * 24 * 3600.0
+_FRACTIONS = (0.25, 1.0, 2.0)
+
+
+def test_qoa_detection_sweep(benchmark):
+    rows = benchmark(qoa_detection.run, horizon=_HORIZON,
+                     dwell_fractions=_FRACTIONS)
+    # ERASMUS detects mobile malware that on-demand RA misses.
+    for row in rows:
+        assert row["erasmus_detection_rate"] >= row["ondemand_detection_rate"]
+    assert qoa_detection.detection_advantage(rows) > 0.2
+    # Detection improves as dwell time grows relative to T_M.
+    rates = [row["erasmus_detection_rate"] for row in rows]
+    assert rates[0] < rates[-1]

@@ -1,0 +1,25 @@
+"""Benchmark: Section 6 swarm attestation coverage under mobility."""
+
+import pytest
+
+from repro.experiments import swarm_mobility
+
+_SPEEDS = (0.0, 6.0)
+
+
+def test_swarm_mobility_sweep(benchmark):
+    rows = benchmark(swarm_mobility.run, device_count=25, speeds=_SPEEDS,
+                     repetitions=2)
+    static = swarm_mobility.coverage_by_protocol(rows, 0.0)
+    mobile = swarm_mobility.coverage_by_protocol(rows, 6.0)
+    # Static swarm: everyone attests everything.
+    for protocol, coverage in static.items():
+        assert coverage == pytest.approx(1.0), protocol
+    # Mobile swarm: on-demand protocols lose devices, ERASMUS does not.
+    assert mobile["erasmus-collection"] >= 0.9
+    assert mobile["lisa-alpha"] < mobile["erasmus-collection"]
+    assert mobile["seda"] <= mobile["lisa-alpha"] + 1e-9
+    # The ERASMUS collection completes orders of magnitude faster.
+    durations = {row["protocol"]: row["duration_s"]
+                 for row in rows if row["speed"] == 0.0}
+    assert durations["erasmus-collection"] < durations["seda"] / 10

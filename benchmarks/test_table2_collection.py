@@ -1,0 +1,20 @@
+"""Benchmark: regenerate Table 2 (collection-phase run-time on i.MX6)."""
+
+import pytest
+
+from repro.experiments import table2_collection
+
+
+def test_table2_regeneration(benchmark):
+    rows = benchmark(table2_collection.run)
+    by_operation = {row["operation"]: row for row in rows}
+    assert by_operation["total"]["erasmus_ms"] == pytest.approx(0.015,
+                                                                abs=0.002)
+    assert by_operation["total"]["erasmus+od_ms"] == pytest.approx(285.6,
+                                                                   rel=0.02)
+
+
+def test_collection_vs_measurement_factor(benchmark):
+    ratio = benchmark(table2_collection.collection_vs_measurement_ratio)
+    # Paper: collection is cheaper than measurement by at least 3000x.
+    assert ratio >= 3000

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Tampering forensics: why the insecure measurement buffer is enough.
+
+Section 3.2/3.4: measurements live in unprotected memory, so malware
+can delete, corrupt, reorder or try to forge them — but every one of
+those actions is detected at the next collection, because forging a MAC
+requires ``K`` and absence of expected records is itself incriminating.
+This example runs each tampering primitive on a HYDRA (medium-end)
+prover and shows the verifier's verdict, plus the clock-rewind attack
+bouncing off the RROC.
+
+Run with:  python examples/tamper_forensics.py
+"""
+
+from repro.adversary import ClockRewindAttempt, TamperingMalware
+from repro.arch.base import hash_for_mac
+from repro.core import DeviceStatus, ErasmusConfig, ErasmusProver, \
+    ErasmusVerifier
+from repro.hw.clock import ReliableClock
+from repro.hydra import build_hydra_architecture
+from repro.sim import SimulationEngine
+
+KEY = b"\x77" * 32
+FIRMWARE = b"gateway-image-v5" + bytes(1024)
+
+
+def build_prover() -> tuple[ErasmusProver, ErasmusVerifier, SimulationEngine]:
+    config = ErasmusConfig(measurement_interval=30.0,
+                           collection_interval=300.0,
+                           buffer_slots=16,
+                           mac_name="hmac-sha256")
+    architecture = build_hydra_architecture(
+        KEY, mac_name=config.mac_name, application_size=64 * 1024)
+    architecture.load_application(FIRMWARE)
+    healthy = hash_for_mac(config.mac_name)(
+        architecture.read_measured_memory())
+    prover = ErasmusProver(architecture, config, device_id="gateway-3")
+    verifier = ErasmusVerifier(config)
+    verifier.enroll("gateway-3", KEY, [healthy])
+    engine = SimulationEngine()
+    prover.attach(engine)
+    engine.run(until=300.0)
+    return prover, verifier, engine
+
+
+def collect_and_report(prover: ErasmusProver, verifier: ErasmusVerifier,
+                       time: float, label: str) -> DeviceStatus:
+    response = prover.handle_collect(verifier.create_collect_request())
+    report = verifier.verify_collection("gateway-3", response,
+                                        collection_time=time)
+    extra = f" ({'; '.join(report.anomalies)})" if report.anomalies else ""
+    print(f"  {label:<28} -> {report.status.value}{extra}")
+    return report.status
+
+
+def main() -> None:
+    print("Tampering with the measurement buffer (HYDRA prover):")
+
+    # Baseline: untampered history verifies as healthy.
+    prover, verifier, engine = build_prover()
+    collect_and_report(prover, verifier, engine.now, "no tampering")
+
+    # Each attack gets a fresh prover so the verdicts are independent.
+    attacks = {
+        "delete newest records": lambda malware: malware.delete_latest(3),
+        "corrupt newest digest": lambda malware: malware.corrupt_latest(),
+        "replay an old record": lambda malware: malware.replay_old_measurement(),
+        "forge a record": lambda malware: malware.forge_measurement(
+            301.0, b"\x00" * 32),
+        "wipe the whole buffer": lambda malware: malware.wipe_all(),
+    }
+    for label, action in attacks.items():
+        prover, verifier, engine = build_prover()
+        malware = TamperingMalware(prover.store, seed=5)
+        action(malware)
+        collect_and_report(prover, verifier, engine.now, label)
+
+    print("\nClock-rewind attack against the RROC:")
+    clock = ReliableClock(frequency_hz=8_000_000.0)
+    clock.advance_to(1000.0)
+    attempt = ClockRewindAttempt(clock=clock, target_time=500.0)
+    blocked = attempt.execute()
+    print(f"  rewind to t=500 blocked by hardware: {blocked}; "
+          f"clock still reads {clock.read():.0f}s")
+
+
+if __name__ == "__main__":
+    main()

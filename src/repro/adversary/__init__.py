@@ -1,0 +1,40 @@
+"""Adversary models.
+
+The paper's threat model features:
+
+* **persistent malware** that infects the prover and stays;
+* **mobile (transient) malware** [Ostrovsky & Yung] that infects, acts
+  and erases itself before the next attestation — the adversary
+  on-demand RA cannot catch (Figure 1, infection 1);
+* **tampering malware** that modifies, reorders or deletes the stored
+  measurements in the insecure buffer (Section 3.2) — detectable
+  because it cannot forge MACs;
+* **clock-rewind malware** that would exploit a writable clock
+  (Section 3.4) — impossible against a true RROC;
+* **schedule-aware malware** that knows the fixed ``T_M`` and times its
+  visits to dodge measurements (the motivation for irregular intervals,
+  Section 3.5).
+
+Each model drives a prover through the simulation engine and records
+what it did, so the analysis layer can compare ground truth against
+what the verifier detected.
+"""
+
+from repro.adversary.malware import (
+    Infection,
+    MalwareCampaign,
+    MobileMalware,
+    PersistentMalware,
+)
+from repro.adversary.roving import ScheduleAwareMalware
+from repro.adversary.tamper import ClockRewindAttempt, TamperingMalware
+
+__all__ = [
+    "ClockRewindAttempt",
+    "Infection",
+    "MalwareCampaign",
+    "MobileMalware",
+    "PersistentMalware",
+    "ScheduleAwareMalware",
+    "TamperingMalware",
+]

@@ -1,0 +1,93 @@
+"""Schedule-aware mobile malware (the Section 3.5 adversary).
+
+If measurements fire at a fixed, known ``T_M``, mobile malware can enter
+right after one measurement and leave right before the next, staying on
+the device for almost ``T_M`` while never being measured.  Irregular,
+CSPRNG-driven intervals take that knowledge away: the best the malware
+can do is gamble that its dwell window happens to avoid the (secret)
+next measurement time.
+
+:class:`ScheduleAwareMalware` quantifies this: it simulates visits that
+start immediately after an observed measurement and computes the
+probability of evading detection, for any scheduler.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.scheduler import MeasurementScheduler, RegularScheduler
+
+
+@dataclass
+class EvasionResult:
+    """Outcome of an evasion simulation."""
+
+    trials: int
+    evasions: int
+
+    @property
+    def evasion_probability(self) -> float:
+        """Fraction of visits that avoided every measurement."""
+        return self.evasions / self.trials if self.trials else 0.0
+
+    @property
+    def detection_probability(self) -> float:
+        """Complement of the evasion probability."""
+        return 1.0 - self.evasion_probability
+
+
+class ScheduleAwareMalware:
+    """Mobile malware that knows the scheduling *policy* (but not the key).
+
+    Its strategy: wait for a measurement to complete (observable, e.g.
+    through a busy CPU), immediately infect, stay for ``dwell`` seconds,
+    then leave.  Against a regular schedule with ``dwell < T_M`` this
+    always evades; against an irregular schedule the next measurement
+    time is unpredictable and evasion becomes a gamble.
+    """
+
+    def __init__(self, dwell: float, seed: int = 0) -> None:
+        if dwell <= 0:
+            raise ValueError("dwell time must be positive")
+        self.dwell = dwell
+        self._random = random.Random(seed)
+
+    def evades_once(self, scheduler: MeasurementScheduler,
+                    entry_time: float) -> bool:
+        """Does one visit starting at ``entry_time`` avoid all measurements?
+
+        ``entry_time`` is assumed to be the instant right after a
+        measurement completed, which is the adversary's optimal entry
+        point under any schedule.
+        """
+        next_measurement = scheduler.next_time(entry_time)
+        return next_measurement >= entry_time + self.dwell
+
+    def simulate(self, scheduler: MeasurementScheduler,
+                 trials: int = 1000) -> EvasionResult:
+        """Estimate the evasion probability over many independent visits."""
+        if trials <= 0:
+            raise ValueError("at least one trial is required")
+        evasions = 0
+        for _ in range(trials):
+            entry_time = self._random.uniform(0, 10_000.0)
+            if self.evades_once(scheduler, entry_time):
+                evasions += 1
+        return EvasionResult(trials=trials, evasions=evasions)
+
+    def best_case_dwell(self, scheduler: MeasurementScheduler) -> float:
+        """Longest dwell that is *guaranteed* to evade the given scheduler.
+
+        For a regular scheduler this is essentially ``T_M``; for an
+        irregular scheduler it is the lower bound ``L`` of the interval
+        distribution — the paper's argument for irregular intervals in a
+        nutshell.
+        """
+        if isinstance(scheduler, RegularScheduler):
+            return scheduler.measurement_interval
+        lower = getattr(scheduler, "lower", None)
+        if lower is not None:
+            return float(lower)
+        return scheduler.measurement_interval

@@ -1,0 +1,138 @@
+"""Measurement tampering and clock-rewind adversaries.
+
+Section 3.2/3.4: measurements live in insecure storage, so malware may
+modify, reorder or delete them — but it cannot *forge* them without
+``K``, so any tampering is detected at the next collection.  Similarly,
+the clock-rewind attack of Section 3.4 is only possible if the RROC
+were writable, which it is not.  These adversaries exist so tests and
+experiments can demonstrate both facts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.measurement import Measurement
+from repro.core.storage import MeasurementStore
+from repro.hw.clock import ClockTamperError, ReliableClock
+
+
+class TamperingMalware:
+    """Malware with full read/write access to the measurement buffer."""
+
+    def __init__(self, store: MeasurementStore, seed: int = 0) -> None:
+        self.store = store
+        self._random = random.Random(seed)
+        self.actions: List[str] = []
+
+    def _slot_of(self, measurement: Measurement) -> Optional[int]:
+        """Locate the slot currently holding a given record."""
+        for slot in range(self.store.slots):
+            stored = self.store.raw_slot(slot)
+            if stored is not None and stored.timestamp == measurement.timestamp:
+                return slot
+        return None
+
+    def delete_latest(self, count: int = 1) -> int:
+        """Delete the ``count`` newest stored measurements.
+
+        Returns the number actually deleted.  This models malware trying
+        to erase the records that incriminate it.
+        """
+        victims = self.store.latest(count)
+        deleted = 0
+        for measurement in victims:
+            slot = self._slot_of(measurement)
+            if slot is not None:
+                self.store.overwrite_slot(slot, None)
+                deleted += 1
+        self.actions.append(f"delete_latest({deleted})")
+        return deleted
+
+    def wipe_all(self) -> None:
+        """Erase the whole buffer."""
+        self.store.clear_all()
+        self.actions.append("wipe_all")
+
+    def corrupt_latest(self) -> Optional[Measurement]:
+        """Flip bits in the digest of the newest measurement.
+
+        The MAC is left untouched (it cannot be recomputed without
+        ``K``), so the record will fail verification.
+        """
+        newest = self.store.newest()
+        if newest is None:
+            return None
+        corrupted_digest = bytes(b ^ 0xFF for b in newest.digest)
+        corrupted = Measurement(timestamp=newest.timestamp,
+                                digest=corrupted_digest, tag=newest.tag,
+                                duration=newest.duration)
+        slot = self._slot_of(newest)
+        if slot is None:
+            return None
+        self.store.overwrite_slot(slot, corrupted)
+        self.actions.append("corrupt_latest")
+        return corrupted
+
+    def replay_old_measurement(self) -> Optional[Measurement]:
+        """Copy an old (healthy-looking) record over the newest slot.
+
+        The timestamps then no longer match the schedule / are
+        duplicated, which the verifier flags.
+        """
+        measurements = self.store.all_measurements()
+        if len(measurements) < 2:
+            return None
+        oldest, newest = measurements[0], measurements[-1]
+        newest_slot = self._slot_of(newest)
+        if newest_slot is None:
+            return None
+        self.store.overwrite_slot(newest_slot, oldest)
+        self.actions.append("replay_old_measurement")
+        return oldest
+
+    def forge_measurement(self, timestamp: float, digest: bytes,
+                          tag_length: int = 32) -> Measurement:
+        """Fabricate a record with a random tag (a doomed forgery attempt)."""
+        fake_tag = bytes(self._random.randrange(256) for _ in range(tag_length))
+        forged = Measurement(timestamp=timestamp, digest=bytes(digest),
+                             tag=fake_tag)
+        self.store.store(forged)
+        self.actions.append("forge_measurement")
+        return forged
+
+    def reorder(self) -> None:
+        """Swap two random occupied slots."""
+        occupied = [index for index in range(self.store.slots)
+                    if self.store.raw_slot(index) is not None]
+        if len(occupied) >= 2:
+            first, second = self._random.sample(occupied, 2)
+            self.store.swap_slots(first, second)
+        self.actions.append("reorder")
+
+
+@dataclass
+class ClockRewindAttempt:
+    """The Section 3.4 clock-rewind attack, attempted against a real RROC.
+
+    The attack needs to reset the clock to an earlier value so that a
+    measurement taken while malware was present can be silently
+    replaced.  Against a hardware RROC the write simply has no effect
+    (modelled as an exception), so ``blocked`` is always ``True``.
+    """
+
+    clock: ReliableClock
+    target_time: float = 0.0
+    blocked: Optional[bool] = None
+
+    def execute(self) -> bool:
+        """Attempt the rewind; returns ``True`` when the RROC blocked it."""
+        try:
+            self.clock.write(int(self.target_time * self.clock.frequency_hz))
+        except ClockTamperError:
+            self.blocked = True
+            return True
+        self.blocked = False
+        return False

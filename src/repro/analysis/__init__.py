@@ -1,0 +1,35 @@
+"""Analysis utilities: detection, QoA statistics and parameter sweeps.
+
+These functions operate on *timelines* — measurement times, collection
+times and infection intervals — rather than on live simulation objects,
+so they are fast enough for the large parameter sweeps behind the QoA
+experiments and can also serve as analytic oracles for the end-to-end
+simulation tests.
+"""
+
+from repro.analysis.detection import (
+    DetectionSummary,
+    detection_latency,
+    infection_detected,
+    simulate_detection,
+)
+from repro.analysis.qoa_analysis import (
+    QoAComparison,
+    collection_freshness,
+    compare_erasmus_vs_ondemand,
+    detection_curve,
+)
+from repro.analysis.sweep import ParameterSweep, SweepResult
+
+__all__ = [
+    "DetectionSummary",
+    "ParameterSweep",
+    "QoAComparison",
+    "SweepResult",
+    "collection_freshness",
+    "compare_erasmus_vs_ondemand",
+    "detection_curve",
+    "detection_latency",
+    "infection_detected",
+    "simulate_detection",
+]

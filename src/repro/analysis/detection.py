@@ -1,0 +1,133 @@
+"""Malware-detection analysis over measurement / collection timelines.
+
+The core question of Figure 1: given when measurements are taken, when
+collections happen and when malware was present, which infections are
+detected and how quickly can the verifier react?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.adversary.malware import Infection, MalwareCampaign
+from repro.core.scheduler import MeasurementScheduler, RegularScheduler
+
+
+def infection_detected(infection: Infection,
+                       measurement_times: Sequence[float]) -> bool:
+    """True when at least one measurement fell inside the infection window.
+
+    A measurement taken while malware is present records an unhealthy
+    digest; once recorded, the MAC makes the evidence indelible (any
+    attempt to remove it is itself detected).
+    """
+    end = infection.end if infection.end is not None else float("inf")
+    return any(infection.start <= time < end for time in measurement_times)
+
+
+def detection_latency(infection: Infection,
+                      measurement_times: Sequence[float],
+                      collection_times: Sequence[float]) -> Optional[float]:
+    """Time from infection start until the verifier can react.
+
+    The verifier learns about the infection at the first collection that
+    happens at or after the first incriminating measurement (Figure 1,
+    infection 2).  Returns ``None`` when the infection is never detected
+    within the given timelines.
+    """
+    end = infection.end if infection.end is not None else float("inf")
+    incriminating = [time for time in measurement_times
+                     if infection.start <= time < end]
+    if not incriminating:
+        return None
+    first_evidence = min(incriminating)
+    exposing = [time for time in collection_times if time >= first_evidence]
+    if not exposing:
+        return None
+    return min(exposing) - infection.start
+
+
+@dataclass
+class DetectionSummary:
+    """Aggregate outcome of a detection experiment."""
+
+    total_infections: int
+    detected_infections: int
+    latencies: List[float]
+    measurement_count: int
+    collection_count: int
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of infections that were detected."""
+        if self.total_infections == 0:
+            return 1.0
+        return self.detected_infections / self.total_infections
+
+    @property
+    def mean_latency(self) -> Optional[float]:
+        """Mean infection-to-reaction latency over detected infections."""
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> Optional[float]:
+        """Worst-case latency over detected infections."""
+        return max(self.latencies) if self.latencies else None
+
+
+def simulate_detection(measurement_interval: float,
+                       collection_interval: float,
+                       campaign: MalwareCampaign,
+                       horizon: float,
+                       scheduler: Optional[MeasurementScheduler] = None,
+                       on_demand_only: bool = False) -> DetectionSummary:
+    """Run one timeline-level detection experiment.
+
+    Measurements follow ``scheduler`` (regular with ``measurement_interval``
+    by default); collections happen every ``collection_interval``.  With
+    ``on_demand_only=True`` the only measurements are the ones taken at
+    collection time — the classic on-demand RA baseline, which is what
+    makes mobile malware invisible to it.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    collection_times = _regular_times(collection_interval, horizon)
+    if on_demand_only:
+        measurement_times = list(collection_times)
+    else:
+        if scheduler is None:
+            scheduler = RegularScheduler(measurement_interval)
+        measurement_times = scheduler.schedule(0.0, horizon)
+
+    visits = campaign.generate(horizon)
+    infections = [Infection(device_id="prover", start=start, end=start + dwell)
+                  for start, dwell in visits]
+
+    detected = 0
+    latencies: List[float] = []
+    for infection in infections:
+        if infection_detected(infection, measurement_times):
+            detected += 1
+            latency = detection_latency(infection, measurement_times,
+                                        collection_times)
+            if latency is not None:
+                latencies.append(latency)
+    return DetectionSummary(total_infections=len(infections),
+                            detected_infections=detected,
+                            latencies=latencies,
+                            measurement_count=len(measurement_times),
+                            collection_count=len(collection_times))
+
+
+def _regular_times(interval: float, horizon: float) -> List[float]:
+    if interval <= 0:
+        raise ValueError("interval must be positive")
+    times: List[float] = []
+    time = interval
+    while time <= horizon:
+        times.append(time)
+        time += interval
+    return times

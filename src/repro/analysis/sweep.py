@@ -1,0 +1,64 @@
+"""Generic parameter-sweep helper used by the experiment harnesses."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Sequence
+
+
+@dataclass
+class SweepResult:
+    """One point of a parameter sweep: the parameters and the outcome."""
+
+    parameters: Dict[str, Any]
+    outcome: Any
+
+
+@dataclass
+class ParameterSweep:
+    """Cartesian-product parameter sweep.
+
+    ``parameters`` maps parameter names to the list of values to try;
+    :meth:`run` calls ``function(**combination)`` for every combination
+    and collects :class:`SweepResult` objects, preserving order.
+    """
+
+    parameters: Dict[str, Sequence[Any]]
+    results: List[SweepResult] = field(default_factory=list)
+
+    def combinations(self) -> List[Dict[str, Any]]:
+        """All parameter combinations, in deterministic order."""
+        names = list(self.parameters)
+        value_lists = [list(self.parameters[name]) for name in names]
+        return [dict(zip(names, values))
+                for values in itertools.product(*value_lists)]
+
+    def run(self, function: Callable[..., Any]) -> List[SweepResult]:
+        """Evaluate ``function`` on every combination and store the results."""
+        self.results = [
+            SweepResult(parameters=combination,
+                        outcome=function(**combination))
+            for combination in self.combinations()
+        ]
+        return self.results
+
+    def column(self, parameter: str) -> List[Any]:
+        """Values of one parameter across the collected results."""
+        return [result.parameters[parameter] for result in self.results]
+
+    def outcomes(self) -> List[Any]:
+        """All outcomes, in run order."""
+        return [result.outcome for result in self.results]
+
+    def as_table(self, outcome_name: str = "outcome") -> List[Dict[str, Any]]:
+        """Results flattened into a list of rows (dicts), one per combination."""
+        table = []
+        for result in self.results:
+            row = dict(result.parameters)
+            if isinstance(result.outcome, dict):
+                row.update(result.outcome)
+            else:
+                row[outcome_name] = result.outcome
+            table.append(row)
+        return table

@@ -1,0 +1,26 @@
+"""Common interface for the hybrid RA security architectures.
+
+ERASMUS is architecture-agnostic: it only needs a substrate that can
+(1) compute a measurement ``<t, H(mem_t), MAC_K(t, H(mem_t))>`` with
+exclusive access to ``K``, atomically and non-malleably, and (2) expose
+a reliable read-only clock.  The paper demonstrates it on SMART+
+(:mod:`repro.smartplus`) and HYDRA (:mod:`repro.hydra`); both implement
+the :class:`SecurityArchitecture` interface defined here, so the core
+protocol code in :mod:`repro.core` works unchanged on either.
+"""
+
+from repro.arch.base import (
+    ArchitectureError,
+    MeasurementAborted,
+    MeasurementOutput,
+    SecurityArchitecture,
+    hash_for_mac,
+)
+
+__all__ = [
+    "ArchitectureError",
+    "MeasurementAborted",
+    "MeasurementOutput",
+    "SecurityArchitecture",
+    "hash_for_mac",
+]

@@ -1,0 +1,83 @@
+"""The measurement record ``M_t = <t, H(mem_t), MAC_K(t, H(mem_t))>``.
+
+Measurements are produced by the security architecture
+(:meth:`repro.arch.SecurityArchitecture.perform_measurement`), stored in
+the prover's insecure rolling buffer and later shipped to the verifier
+unencrypted (they are authenticated by the MAC and contain no secrets;
+Section 3.2).  This module defines the record and a compact, canonical
+wire encoding used both for buffer storage and for network transfer.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.arch.base import MeasurementOutput, encode_timestamp
+
+_HEADER = struct.Struct(">QHH")  # timestamp_us, digest_len, tag_len
+
+
+class MeasurementDecodeError(Exception):
+    """A byte string could not be decoded into a measurement record."""
+
+
+@dataclass(frozen=True)
+class Measurement:
+    """One self-measurement record.
+
+    ``timestamp`` is the RROC value at measurement time (seconds),
+    ``digest`` is ``H(mem_t)`` and ``tag`` is ``MAC_K(t, H(mem_t))``.
+    ``duration`` (not transmitted) records the modelled run-time of the
+    measurement on the prover, used by availability experiments.
+    """
+
+    timestamp: float
+    digest: bytes
+    tag: bytes
+    duration: float = 0.0
+
+    @classmethod
+    def from_output(cls, output: MeasurementOutput) -> "Measurement":
+        """Build a record from the architecture's raw measurement output."""
+        return cls(timestamp=output.timestamp, digest=output.digest,
+                   tag=output.tag, duration=output.duration)
+
+    def authenticated_payload(self) -> bytes:
+        """The bytes the MAC covers: canonical timestamp followed by digest."""
+        return encode_timestamp(self.timestamp) + self.digest
+
+    def encode(self) -> bytes:
+        """Serialize to the canonical wire format."""
+        header = _HEADER.pack(int(round(self.timestamp * 1_000_000)),
+                              len(self.digest), len(self.tag))
+        return header + self.digest + self.tag
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "Measurement":
+        """Parse the canonical wire format back into a record."""
+        if len(payload) < _HEADER.size:
+            raise MeasurementDecodeError("measurement record truncated")
+        timestamp_us, digest_len, tag_len = _HEADER.unpack_from(payload)
+        expected = _HEADER.size + digest_len + tag_len
+        if len(payload) != expected:
+            raise MeasurementDecodeError(
+                f"measurement record has {len(payload)} bytes, "
+                f"expected {expected}")
+        digest = payload[_HEADER.size:_HEADER.size + digest_len]
+        tag = payload[_HEADER.size + digest_len:]
+        return cls(timestamp=timestamp_us / 1_000_000, digest=digest, tag=tag)
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size of the record in bytes."""
+        return _HEADER.size + len(self.digest) + len(self.tag)
+
+    def with_timestamp(self, timestamp: float) -> "Measurement":
+        """Copy with a different timestamp (used by tampering adversaries).
+
+        The tag is *not* recomputed — malware cannot forge MACs — so the
+        result will fail verification, which is exactly the point.
+        """
+        return Measurement(timestamp=timestamp, digest=self.digest,
+                           tag=self.tag, duration=self.duration)

@@ -1,0 +1,192 @@
+"""Protocol messages for collection and on-demand attestation.
+
+Two exchanges from the paper:
+
+* the ERASMUS collection protocol (Figure 2): the verifier sends
+  ``collect k``; the prover answers with its ``k`` latest stored
+  measurements — no cryptography, no state change, no request
+  authentication (there is nothing to DoS);
+* the ERASMUS+OD protocol (Figure 4): the request additionally carries a
+  fresh timestamp ``t_req`` and ``MAC_K(t_req)``; the prover
+  authenticates it, computes one on-demand measurement ``M_0`` and
+  returns it together with the stored history.
+
+Messages have a canonical byte encoding so they can travel over the
+simulated network (:mod:`repro.net`) and so message sizes are realistic
+for the swarm experiments.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.arch.base import encode_timestamp
+from repro.core.measurement import Measurement, MeasurementDecodeError
+
+_COLLECT_HEADER = struct.Struct(">BI")          # message type, k
+_ONDEMAND_HEADER = struct.Struct(">BIQH")       # type, k, t_req_us, tag length
+_RESPONSE_HEADER = struct.Struct(">BH")         # message type, record count
+_RECORD_LENGTH = struct.Struct(">H")
+
+_TYPE_COLLECT_REQUEST = 1
+_TYPE_COLLECT_RESPONSE = 2
+_TYPE_ONDEMAND_REQUEST = 3
+_TYPE_ONDEMAND_RESPONSE = 4
+
+
+class ProtocolDecodeError(Exception):
+    """A protocol message could not be decoded."""
+
+
+@dataclass(frozen=True)
+class CollectRequest:
+    """Verifier -> prover: "collect k" (Figure 2)."""
+
+    k: int
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        if self.k < 0:
+            raise ValueError("k must be non-negative")
+        return _COLLECT_HEADER.pack(_TYPE_COLLECT_REQUEST, self.k)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "CollectRequest":
+        """Parse the wire format."""
+        try:
+            message_type, k = _COLLECT_HEADER.unpack(payload)
+        except struct.error as exc:
+            raise ProtocolDecodeError("malformed collect request") from exc
+        if message_type != _TYPE_COLLECT_REQUEST:
+            raise ProtocolDecodeError("not a collect request")
+        return cls(k=k)
+
+
+def _encode_measurements(measurements: List[Measurement]) -> bytes:
+    parts = []
+    for measurement in measurements:
+        record = measurement.encode()
+        parts.append(_RECORD_LENGTH.pack(len(record)) + record)
+    return b"".join(parts)
+
+
+def _decode_measurements(payload: bytes, count: int) -> List[Measurement]:
+    measurements: List[Measurement] = []
+    offset = 0
+    for _ in range(count):
+        if offset + _RECORD_LENGTH.size > len(payload):
+            raise ProtocolDecodeError("truncated measurement list")
+        (length,) = _RECORD_LENGTH.unpack_from(payload, offset)
+        offset += _RECORD_LENGTH.size
+        record = payload[offset:offset + length]
+        offset += length
+        try:
+            measurements.append(Measurement.decode(record))
+        except MeasurementDecodeError as exc:
+            raise ProtocolDecodeError(str(exc)) from exc
+    if offset != len(payload):
+        raise ProtocolDecodeError("trailing bytes after measurement list")
+    return measurements
+
+
+@dataclass(frozen=True)
+class CollectResponse:
+    """Prover -> verifier: the k latest stored measurements, newest first."""
+
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        header = _RESPONSE_HEADER.pack(_TYPE_COLLECT_RESPONSE,
+                                       len(self.measurements))
+        return header + _encode_measurements(self.measurements)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "CollectResponse":
+        """Parse the wire format."""
+        if len(payload) < _RESPONSE_HEADER.size:
+            raise ProtocolDecodeError("malformed collect response")
+        message_type, count = _RESPONSE_HEADER.unpack_from(payload)
+        if message_type != _TYPE_COLLECT_RESPONSE:
+            raise ProtocolDecodeError("not a collect response")
+        measurements = _decode_measurements(
+            payload[_RESPONSE_HEADER.size:], count)
+        return cls(measurements=measurements)
+
+    @property
+    def size_bytes(self) -> int:
+        """Encoded size of the response."""
+        return len(self.encode())
+
+
+@dataclass(frozen=True)
+class OnDemandRequest:
+    """Verifier -> prover for ERASMUS+OD: ``t_req, k, MAC_K(t_req)``."""
+
+    request_time: float
+    k: int
+    tag: bytes
+
+    def authenticated_payload(self) -> bytes:
+        """Bytes covered by the request MAC (the canonical timestamp)."""
+        return encode_timestamp(self.request_time)
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        header = _ONDEMAND_HEADER.pack(
+            _TYPE_ONDEMAND_REQUEST, self.k,
+            int(round(self.request_time * 1_000_000)), len(self.tag))
+        return header + self.tag
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "OnDemandRequest":
+        """Parse the wire format."""
+        if len(payload) < _ONDEMAND_HEADER.size:
+            raise ProtocolDecodeError("malformed on-demand request")
+        message_type, k, time_us, tag_length = _ONDEMAND_HEADER.unpack_from(
+            payload)
+        if message_type != _TYPE_ONDEMAND_REQUEST:
+            raise ProtocolDecodeError("not an on-demand request")
+        tag = payload[_ONDEMAND_HEADER.size:]
+        if len(tag) != tag_length:
+            raise ProtocolDecodeError("on-demand request tag length mismatch")
+        return cls(request_time=time_us / 1_000_000, k=k, tag=tag)
+
+
+@dataclass(frozen=True)
+class OnDemandResponse:
+    """Prover -> verifier for ERASMUS+OD: fresh ``M_0`` plus the history.
+
+    ``fresh`` is ``None`` when the prover refused the request (failed
+    authentication); the history list is then empty as well.
+    """
+
+    fresh: Optional[Measurement]
+    measurements: List[Measurement] = field(default_factory=list)
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        records = ([self.fresh] if self.fresh is not None else []) + \
+            list(self.measurements)
+        header = _RESPONSE_HEADER.pack(_TYPE_ONDEMAND_RESPONSE, len(records))
+        flag = b"\x01" if self.fresh is not None else b"\x00"
+        return header + flag + _encode_measurements(records)
+
+    @classmethod
+    def decode(cls, payload: bytes) -> "OnDemandResponse":
+        """Parse the wire format."""
+        minimum = _RESPONSE_HEADER.size + 1
+        if len(payload) < minimum:
+            raise ProtocolDecodeError("malformed on-demand response")
+        message_type, count = _RESPONSE_HEADER.unpack_from(payload)
+        if message_type != _TYPE_ONDEMAND_RESPONSE:
+            raise ProtocolDecodeError("not an on-demand response")
+        has_fresh = payload[_RESPONSE_HEADER.size] == 1
+        records = _decode_measurements(payload[minimum:], count)
+        if has_fresh:
+            if not records:
+                raise ProtocolDecodeError("fresh measurement flagged but absent")
+            return cls(fresh=records[0], measurements=records[1:])
+        return cls(fresh=None, measurements=records)

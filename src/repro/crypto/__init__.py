@@ -1,0 +1,47 @@
+"""Cryptographic primitives implemented from scratch.
+
+ERASMUS measurements are MACs over the prover's memory:
+``M_t = <t, H(mem_t), MAC_K(t, H(mem_t))>``.  The paper evaluates three
+MAC constructions -- HMAC-SHA1, HMAC-SHA256 and keyed BLAKE2s -- on top
+of two security architectures.  This package provides pure-Python,
+dependency-free implementations of all of them, plus the HMAC-DRBG
+CSPRNG used for irregular measurement scheduling (paper Section 3.5).
+
+The implementations are bit-exact against the standard test vectors
+(see ``tests/crypto``) and additionally report *work counts* (number of
+compression-function invocations) so that the hardware cost models in
+:mod:`repro.hw` can convert cryptographic work into device cycles.
+"""
+
+from repro.crypto.blake2s import Blake2s, blake2s_digest, keyed_blake2s
+from repro.crypto.constant_time import constant_time_compare
+from repro.crypto.csprng import HmacDrbg
+from repro.crypto.hmac import Hmac, hmac_digest
+from repro.crypto.mac import (
+    MacAlgorithm,
+    MacDescriptor,
+    available_macs,
+    get_mac,
+    register_mac,
+)
+from repro.crypto.sha1 import Sha1, sha1_digest
+from repro.crypto.sha256 import Sha256, sha256_digest
+
+__all__ = [
+    "Blake2s",
+    "Hmac",
+    "HmacDrbg",
+    "MacAlgorithm",
+    "MacDescriptor",
+    "Sha1",
+    "Sha256",
+    "available_macs",
+    "blake2s_digest",
+    "constant_time_compare",
+    "get_mac",
+    "hmac_digest",
+    "keyed_blake2s",
+    "register_mac",
+    "sha1_digest",
+    "sha256_digest",
+]

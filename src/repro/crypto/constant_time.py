@@ -1,0 +1,26 @@
+"""Constant-time byte-string comparison.
+
+The verifier compares received MACs against recomputed ones; doing so
+with an early-exit comparison would leak how many prefix bytes matched.
+While the timing channel is far less relevant in a simulation, the
+reproduction keeps the idiom so that the protocol code reads like the
+real system would.
+"""
+
+from __future__ import annotations
+
+
+def constant_time_compare(left: bytes, right: bytes) -> bool:
+    """Compare two byte strings without early exit.
+
+    Returns ``True`` only when the inputs have equal length and equal
+    content.  The running time depends only on the length of ``left``.
+    """
+    if not isinstance(left, (bytes, bytearray)) or not isinstance(
+            right, (bytes, bytearray)):
+        raise TypeError("constant_time_compare expects bytes")
+    result = len(left) ^ len(right)
+    padded_right = bytes(right) + b"\x00" * max(0, len(left) - len(right))
+    for l_byte, r_byte in zip(bytes(left), padded_right):
+        result |= l_byte ^ r_byte
+    return result == 0

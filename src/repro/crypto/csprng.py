@@ -1,0 +1,92 @@
+"""HMAC-DRBG (NIST SP 800-90A) — the CSPRNG for irregular scheduling.
+
+Paper Section 3.5: "One way to implement irregular intervals is to use
+a Cryptographically Secure Pseudo Random Number Generator (CSPRNG)
+initialized (seeded) with the secret key K."  The output is truncated /
+mapped into ``[lower, upper)`` seconds to produce the next measurement
+interval.
+
+We implement the deterministic HMAC-DRBG construction so that prover
+and analysis code can regenerate identical schedules from the same seed
+(the verifier, knowing K, can reconstruct the expected measurement
+times, while schedule-aware malware without K cannot).
+"""
+
+from __future__ import annotations
+
+from repro.crypto.hmac import Hmac
+
+
+class HmacDrbg:
+    """Deterministic random bit generator per NIST SP 800-90A (HMAC-DRBG).
+
+    Parameters
+    ----------
+    seed:
+        Entropy input; in ERASMUS this is derived from the attestation
+        key ``K`` (optionally mixed with a per-device nonce).
+    personalization:
+        Optional personalization string mixed into the initial state.
+    hash_name:
+        Underlying hash for the internal HMAC ("sha256" by default).
+    """
+
+    def __init__(self, seed: bytes, personalization: bytes = b"",
+                 hash_name: str = "sha256") -> None:
+        if not seed:
+            raise ValueError("HMAC-DRBG requires a non-empty seed")
+        self._hash_name = hash_name
+        digest_size = Hmac(b"\x00", hash_name=hash_name).digest_size
+        self._key = b"\x00" * digest_size
+        self._value = b"\x01" * digest_size
+        self.reseed_counter = 1
+        self._update(bytes(seed) + bytes(personalization))
+
+    def _hmac(self, key: bytes, data: bytes) -> bytes:
+        return Hmac(key, data, hash_name=self._hash_name).digest()
+
+    def _update(self, provided_data: bytes = b"") -> None:
+        self._key = self._hmac(self._key, self._value + b"\x00" + provided_data)
+        self._value = self._hmac(self._key, self._value)
+        if provided_data:
+            self._key = self._hmac(
+                self._key, self._value + b"\x01" + provided_data)
+            self._value = self._hmac(self._key, self._value)
+
+    def reseed(self, entropy: bytes) -> None:
+        """Mix additional entropy into the generator state."""
+        if not entropy:
+            raise ValueError("reseed entropy must be non-empty")
+        self._update(bytes(entropy))
+        self.reseed_counter = 1
+
+    def generate(self, num_bytes: int) -> bytes:
+        """Return ``num_bytes`` pseudo-random bytes."""
+        if num_bytes < 0:
+            raise ValueError("cannot generate a negative number of bytes")
+        output = b""
+        while len(output) < num_bytes:
+            self._value = self._hmac(self._key, self._value)
+            output += self._value
+        self._update()
+        self.reseed_counter += 1
+        return output[:num_bytes]
+
+    def random_uint(self, bits: int = 64) -> int:
+        """Return a uniformly random unsigned integer with ``bits`` bits."""
+        if bits <= 0 or bits % 8 != 0:
+            raise ValueError("bits must be a positive multiple of 8")
+        return int.from_bytes(self.generate(bits // 8), "big")
+
+    def uniform(self, lower: float, upper: float) -> float:
+        """Return a float uniformly distributed in ``[lower, upper)``.
+
+        This is the ``map`` function from paper Section 3.5:
+        ``map : x -> x mod (U - L) + L`` applied to the CSPRNG output,
+        except that we map through a 53-bit fraction to avoid the
+        modulo bias of the paper's illustrative formula.
+        """
+        if upper < lower:
+            raise ValueError("upper bound must be >= lower bound")
+        fraction = self.random_uint(64) / 2 ** 64
+        return lower + fraction * (upper - lower)

@@ -1,0 +1,44 @@
+"""Experiment harnesses: one module per table / figure in the paper.
+
+Every module exposes a ``run(...)`` function returning plain rows
+(lists of dicts) and a ``format_table(rows)`` helper that renders the
+same rows the paper reports.  The benchmark suite under ``benchmarks/``
+wraps these harnesses with pytest-benchmark; EXPERIMENTS.md records the
+paper-vs-measured comparison.
+
+| Module | Paper artifact |
+|---------------------------|--------------------------------------------|
+| ``table1_codesize``       | Table 1 — attestation executable size      |
+| ``table2_collection``     | Table 2 — collection-phase run-time        |
+| ``fig6_msp430_runtime``   | Figure 6 — MSP430 measurement run-time     |
+| ``fig8_imx6_runtime``     | Figure 8 — i.MX6 measurement run-time      |
+| ``hwcost``                | Section 4.1 — registers / LUTs             |
+| ``qoa_detection``         | Figure 1 / Section 3.1 — QoA & detection   |
+| ``irregular_intervals``   | Section 3.5 — schedule-aware malware       |
+| ``availability``          | Section 5 — availability / lenient windows |
+| ``swarm_mobility``        | Section 6 — swarm attestation & mobility   |
+"""
+
+from repro.experiments import (
+    availability,
+    fig6_msp430_runtime,
+    fig8_imx6_runtime,
+    hwcost,
+    irregular_intervals,
+    qoa_detection,
+    swarm_mobility,
+    table1_codesize,
+    table2_collection,
+)
+
+__all__ = [
+    "availability",
+    "fig6_msp430_runtime",
+    "fig8_imx6_runtime",
+    "hwcost",
+    "irregular_intervals",
+    "qoa_detection",
+    "swarm_mobility",
+    "table1_codesize",
+    "table2_collection",
+]

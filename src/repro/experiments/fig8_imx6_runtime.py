@@ -1,0 +1,71 @@
+"""Figure 8 — measurement run-time on the i.MX6 Sabre Lite @ 1 GHz.
+
+Same sweep as Figure 6 but on the HYDRA target, with memory sizes from
+0 to 10 MB.  Findings to preserve: linear scaling, ERASMUS ≈ on-demand,
+and ~0.286 s for 10 MB with keyed BLAKE2s (the Table 2 footnote value).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.hw.devices import ApplicationCPUModel
+
+#: Anchor points from the paper (seconds at 10 MB, 1 GHz).
+PAPER_RUNTIME_AT_10MB_S: Dict[str, float] = {
+    "hmac-sha256": 0.55,
+    "keyed-blake2s": 0.2856,
+}
+
+DEFAULT_MEMORY_SIZES_MB: Sequence[float] = (0.5, 1, 2, 4, 6, 8, 10)
+DEFAULT_MACS: Sequence[str] = ("hmac-sha256", "keyed-blake2s")
+
+
+def run(memory_sizes_mb: Sequence[float] = DEFAULT_MEMORY_SIZES_MB,
+        mac_names: Sequence[str] = DEFAULT_MACS,
+        model: ApplicationCPUModel | None = None) -> List[Dict[str, object]]:
+    """Regenerate the Figure 8 series (run-times in seconds)."""
+    model = model if model is not None else ApplicationCPUModel()
+    rows: List[Dict[str, object]] = []
+    for size_mb in memory_sizes_mb:
+        memory_bytes = int(size_mb * 1024 * 1024)
+        for mac_name in mac_names:
+            erasmus = model.attestation_runtime(memory_bytes, mac_name,
+                                                on_demand=False)
+            on_demand = model.attestation_runtime(memory_bytes, mac_name,
+                                                  on_demand=True)
+            rows.append({
+                "memory_mb": size_mb,
+                "mac": mac_name,
+                "erasmus_s": erasmus,
+                "on_demand_s": on_demand,
+            })
+    return rows
+
+
+def series(rows: List[Dict[str, object]], mac_name: str,
+           variant: str) -> List[tuple[float, float]]:
+    """Extract one curve: (memory_mb, runtime_s) points for a configuration."""
+    key = "erasmus_s" if variant == "erasmus" else "on_demand_s"
+    return [(float(row["memory_mb"]), float(row[key]))
+            for row in rows if row["mac"] == mac_name]
+
+
+def format_table(rows: List[Dict[str, object]]) -> str:
+    """Render the Figure 8 series as a text table."""
+    lines = ["Figure 8: Measurement run-time on i.MX6 @ 1 GHz (seconds)"]
+    lines.append(f"{'memory (MB)':>12}{'MAC':>16}{'ERASMUS':>12}"
+                 f"{'on-demand':>12}")
+    for row in rows:
+        lines.append(f"{row['memory_mb']:>12}{row['mac']:>16}"
+                     f"{row['erasmus_s']:>12.4f}{row['on_demand_s']:>12.4f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the reproduced Figure 8 series."""
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

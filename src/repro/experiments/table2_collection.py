@@ -1,0 +1,103 @@
+"""Table 2 — run-time of the collection phase on the i.MX6 (HYDRA).
+
+Paper values (ms), for 10 MB of memory and keyed BLAKE2s:
+
+=====================  ========  ============
+Operation              ERASMUS   ERASMUS+OD
+=====================  ========  ============
+Verify request         N/A       0.005
+Compute measurement    N/A       285.6
+Construct UDP packet   0.003     0.003
+Send UDP packet        0.012     0.012
+Total                  0.015     285.6
+=====================  ========  ============
+
+The headline finding: the plain ERASMUS collection is cheaper than the
+measurement phase by at least a factor of 3000, because it involves no
+cryptography at all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.hw.devices import ApplicationCPUModel
+
+#: Paper values in milliseconds.
+PAPER_TABLE2_MS: Dict[str, Dict[str, float | None]] = {
+    "verify_request": {"erasmus": None, "erasmus+od": 0.005},
+    "compute_measurement": {"erasmus": None, "erasmus+od": 285.6},
+    "construct_packet": {"erasmus": 0.003, "erasmus+od": 0.003},
+    "send_packet": {"erasmus": 0.012, "erasmus+od": 0.012},
+    "total": {"erasmus": 0.015, "erasmus+od": 285.6},
+}
+
+_OPERATIONS = ("verify_request", "compute_measurement", "construct_packet",
+               "send_packet", "total")
+
+
+def run(memory_bytes: int = 10 * 1024 * 1024,
+        mac_name: str = "keyed-blake2s",
+        model: ApplicationCPUModel | None = None) -> List[Dict[str, object]]:
+    """Regenerate Table 2: per-operation collection run-time in milliseconds."""
+    model = model if model is not None else ApplicationCPUModel()
+    erasmus = model.collection_runtime(memory_bytes, mac_name, on_demand=False)
+    erasmus_od = model.collection_runtime(memory_bytes, mac_name,
+                                          on_demand=True)
+    rows: List[Dict[str, object]] = []
+    for operation in _OPERATIONS:
+        erasmus_value = erasmus[operation] * 1000
+        erasmus_od_value = erasmus_od[operation] * 1000
+        if operation in ("verify_request", "compute_measurement"):
+            erasmus_cell: float | None = None
+        else:
+            erasmus_cell = erasmus_value
+        rows.append({
+            "operation": operation,
+            "erasmus_ms": erasmus_cell,
+            "erasmus+od_ms": erasmus_od_value,
+            "paper:erasmus_ms": PAPER_TABLE2_MS[operation]["erasmus"],
+            "paper:erasmus+od_ms": PAPER_TABLE2_MS[operation]["erasmus+od"],
+        })
+    return rows
+
+
+def collection_vs_measurement_ratio(
+        memory_bytes: int = 10 * 1024 * 1024,
+        mac_name: str = "keyed-blake2s",
+        model: ApplicationCPUModel | None = None) -> float:
+    """Measurement run-time divided by plain-collection run-time.
+
+    The paper reports this ratio as "at least a factor of 3000".
+    """
+    model = model if model is not None else ApplicationCPUModel()
+    measurement = model.measurement_runtime(memory_bytes, mac_name)
+    collection = model.collection_runtime(memory_bytes, mac_name,
+                                          on_demand=False)["total"]
+    return measurement / collection
+
+
+def format_table(rows: List[Dict[str, object]]) -> str:
+    """Render the rows as a text table shaped like the paper's Table 2."""
+    lines = ["Table 2: Run-Time (ms) of Collection Phase on i.MX6 Sabre Lite"]
+    lines.append(f"{'Operation':<24}{'ERASMUS':>12}{'ERASMUS+OD':>14}")
+    for row in rows:
+        erasmus_cell = row["erasmus_ms"]
+        erasmus_text = f"{erasmus_cell:>12.3f}" if erasmus_cell is not None \
+            else f"{'N/A':>12}"
+        lines.append(f"{row['operation']:<24}{erasmus_text}"
+                     f"{row['erasmus+od_ms']:>14.3f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the reproduced Table 2 and the collection/measurement ratio."""
+    rows = run()
+    print(format_table(rows))
+    ratio = collection_vs_measurement_ratio()
+    print(f"Measurement / collection run-time ratio: {ratio:,.0f}x "
+          f"(paper: >= 3000x)")
+
+
+if __name__ == "__main__":
+    main()

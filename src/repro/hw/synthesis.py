@@ -1,0 +1,100 @@
+"""FPGA synthesis cost model reproducing the Section 4.1 hardware numbers.
+
+The paper synthesizes its openMSP430 modifications with Xilinx ISE and
+reports that ERASMUS needs the *same* amount of hardware as on-demand
+attestation: roughly 13 % more registers (655 vs 579) and 14 % more
+look-up tables (1969 vs 1731) than the unmodified core.
+
+The model expresses the modification as a list of hardware features,
+each with a register and LUT cost, calibrated to those totals:
+
+* memory-backbone access control (atomic ROM execution + exclusive
+  access to K): 8 registers, 120 LUTs;
+* 64-bit RROC register: 64 registers, 100 LUTs;
+* RROC bus interface / control (with the write-enable wire removed):
+  4 registers, 18 LUTs.
+
+Both variants need exactly the same features — the only difference
+between ERASMUS and on-demand attestation is software — which is the
+paper's headline hardware-cost finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+_BASELINE_REGISTERS = 579
+_BASELINE_LUTS = 1731
+
+_FEATURE_COSTS: Dict[str, Tuple[int, int]] = {
+    "memory_backbone_access_control": (8, 120),
+    "rroc_64bit_register": (64, 100),
+    "rroc_bus_interface": (4, 18),
+}
+
+_VARIANT_FEATURES: Dict[str, Tuple[str, ...]] = {
+    "unmodified": (),
+    "on-demand": tuple(_FEATURE_COSTS),
+    "erasmus": tuple(_FEATURE_COSTS),
+}
+
+
+@dataclass(frozen=True)
+class SynthesisReport:
+    """Register / LUT totals for one synthesized variant."""
+
+    variant: str
+    registers: int
+    luts: int
+    baseline_registers: int = _BASELINE_REGISTERS
+    baseline_luts: int = _BASELINE_LUTS
+
+    @property
+    def register_overhead(self) -> float:
+        """Fractional register overhead versus the unmodified core."""
+        return (self.registers - self.baseline_registers) / \
+            self.baseline_registers
+
+    @property
+    def lut_overhead(self) -> float:
+        """Fractional LUT overhead versus the unmodified core."""
+        return (self.luts - self.baseline_luts) / self.baseline_luts
+
+
+class SynthesisModel:
+    """Per-feature register/LUT cost model of the openMSP430 modifications."""
+
+    def variants(self) -> list[str]:
+        """Variant names the model can synthesize."""
+        return list(_VARIANT_FEATURES)
+
+    def features(self, variant: str) -> Tuple[str, ...]:
+        """Hardware features a variant requires."""
+        try:
+            return _VARIANT_FEATURES[variant.lower()]
+        except KeyError as exc:
+            raise ValueError(f"unknown variant {variant!r}") from exc
+
+    def feature_cost(self, feature: str) -> Tuple[int, int]:
+        """(registers, LUTs) cost of a single feature."""
+        try:
+            return _FEATURE_COSTS[feature]
+        except KeyError as exc:
+            raise ValueError(f"unknown feature {feature!r}") from exc
+
+    def synthesize(self, variant: str) -> SynthesisReport:
+        """Return the register/LUT totals for a variant."""
+        registers = _BASELINE_REGISTERS
+        luts = _BASELINE_LUTS
+        for feature in self.features(variant):
+            feature_registers, feature_luts = self.feature_cost(feature)
+            registers += feature_registers
+            luts += feature_luts
+        return SynthesisReport(variant=variant.lower(), registers=registers,
+                               luts=luts)
+
+    def comparison(self) -> Dict[str, SynthesisReport]:
+        """Reports for all variants, keyed by variant name."""
+        return {variant: self.synthesize(variant)
+                for variant in self.variants()}

@@ -1,0 +1,94 @@
+"""Timer peripherals that drive autonomous self-measurement.
+
+In SMART+-based ERASMUS the measurement routine is invoked "periodically
+and autonomously, whenever a scheduled timer interrupt occurs"; in HYDRA
+the Enhanced Periodic Interrupt Timer (EPIT) plays the same role.  The
+paper notes that hardware timers are not counted as extra hardware cost
+because every real embedded device already has at least one.
+
+For irregular scheduling (Section 3.5) the timer's next expiration must
+be *read-protected* so that malware cannot learn when the next
+measurement will fire; :class:`PeriodicTimer` models that with the
+``deadline_secret`` flag.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import Event, EventKind
+
+
+class TimerReadProtected(Exception):
+    """Raised when untrusted code reads a protected timer deadline."""
+
+
+@dataclass
+class TimerExpiration:
+    """Details passed to the timer callback on every expiration."""
+
+    time: float
+    count: int
+
+
+class PeriodicTimer:
+    """A (re-)programmable timer attached to the simulation engine.
+
+    The owner programs the next interval (fixed or computed anew after
+    every expiration, e.g. from the CSPRNG for irregular schedules) and
+    receives a callback with a :class:`TimerExpiration`.
+    """
+
+    def __init__(self, engine: SimulationEngine,
+                 callback: Callable[[TimerExpiration], None],
+                 deadline_secret: bool = False,
+                 name: str = "timer") -> None:
+        self._engine = engine
+        self._callback = callback
+        self._pending: Optional[Event] = None
+        self._next_deadline: Optional[float] = None
+        self.deadline_secret = deadline_secret
+        self.name = name
+        self.expirations = 0
+
+    def arm(self, delay: float) -> None:
+        """Arm (or re-arm) the timer to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("timer delay must be non-negative")
+        self.cancel()
+        self._next_deadline = self._engine.now + delay
+        self._pending = self._engine.schedule(
+            self._next_deadline, self._fire, EventKind.TIMER,
+            payload=self.name)
+
+    def cancel(self) -> None:
+        """Cancel any pending expiration."""
+        if self._pending is not None:
+            self._pending.cancel()
+            self._pending = None
+            self._next_deadline = None
+
+    def is_armed(self) -> bool:
+        """True when an expiration is pending."""
+        return self._pending is not None and not self._pending.cancelled
+
+    def read_deadline(self, trusted: bool = False) -> Optional[float]:
+        """Read the absolute time of the next expiration.
+
+        When the timer is configured with ``deadline_secret=True`` (the
+        irregular-interval case), untrusted readers are refused — malware
+        must not learn when the next measurement will happen.
+        """
+        if self.deadline_secret and not trusted:
+            raise TimerReadProtected(
+                f"timer {self.name!r} deadline is read-protected")
+        return self._next_deadline
+
+    def _fire(self, _event: Event) -> None:
+        self._pending = None
+        self._next_deadline = None
+        self.expirations += 1
+        self._callback(TimerExpiration(time=self._engine.now,
+                                       count=self.expirations))

@@ -1,0 +1,45 @@
+"""HYDRA security architecture model (medium-end devices with an MMU).
+
+HYDRA builds remote attestation on the formally verified seL4
+microkernel: the attestation process (PrAtt) is the first user-space
+process, runs at the highest scheduling priority, holds exclusive
+capabilities to the key ``K``, its own thread control block and the
+RROC high bits, and spawns all other processes at lower priorities.
+Secure boot guarantees the integrity of seL4 and PrAtt at start-up.
+
+The paper's medium-end ERASMUS prototype (Figure 7, Table 1, Table 2,
+Figure 8) runs on an i.MX6 Sabre Lite under this architecture.  This
+package models:
+
+* a functional seL4-like microkernel (:mod:`repro.hydra.sel4`):
+  processes, capabilities, priority scheduling;
+* hardware-backed secure boot (:mod:`repro.hydra.secure_boot`);
+* the PrAtt process (:mod:`repro.hydra.pratt`);
+* :class:`HydraArchitecture`, the
+  :class:`repro.arch.SecurityArchitecture` implementation used by the
+  ERASMUS core (:mod:`repro.hydra.architecture`).
+"""
+
+from repro.hydra.architecture import HydraArchitecture, build_hydra_architecture
+from repro.hydra.pratt import PrAttProcess
+from repro.hydra.secure_boot import SecureBoot, SecureBootError
+from repro.hydra.sel4 import (
+    Capability,
+    CapabilityError,
+    Microkernel,
+    Process,
+    Right,
+)
+
+__all__ = [
+    "Capability",
+    "CapabilityError",
+    "HydraArchitecture",
+    "Microkernel",
+    "PrAttProcess",
+    "Process",
+    "Right",
+    "SecureBoot",
+    "SecureBootError",
+    "build_hydra_architecture",
+]

@@ -1,0 +1,161 @@
+"""Mobility models: topologies that change over time.
+
+Section 6 argues that existing swarm RA protocols (SEDA, SANA, LISA)
+need the topology to stay essentially static for the whole attestation
+instance — whose duration is dominated by *computation* on every device
+— whereas ERASMUS's collection phase is so short that high mobility is
+harmless.  To exercise that claim we need topologies that actually
+move; this module provides a random-waypoint model over a 2-D area with
+a fixed radio range, producing a geometric connectivity graph that is
+re-sampled as the devices move.
+"""
+
+from __future__ import annotations
+
+import abc
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.net.link import Link
+
+
+@dataclass
+class DevicePosition:
+    """Position and current waypoint of one mobile device."""
+
+    x: float
+    y: float
+    target_x: float
+    target_y: float
+    speed: float
+
+
+class MobilityModel(abc.ABC):
+    """Produces the set of links that exist at a given time."""
+
+    @abc.abstractmethod
+    def links_at(self, time: float) -> List[Link]:
+        """Return the links present at simulation time ``time``."""
+
+    @abc.abstractmethod
+    def device_names(self) -> List[str]:
+        """Names of the devices this model moves."""
+
+
+class RandomWaypointMobility(MobilityModel):
+    """Random-waypoint mobility over a square area with unit-disc links.
+
+    Each device picks a random waypoint and moves towards it at its
+    speed; on arrival it picks a new waypoint.  Two devices share a link
+    whenever their distance is at most ``radio_range``.  ``speed = 0``
+    degenerates to a static random geometric graph.
+    """
+
+    def __init__(self, device_names: List[str], area_size: float = 100.0,
+                 radio_range: float = 30.0, speed: float = 1.0,
+                 seed: int = 0, link_latency: float = 0.002,
+                 link_bandwidth_bps: float = 1_000_000.0) -> None:
+        if not device_names:
+            raise ValueError("at least one device is required")
+        if area_size <= 0 or radio_range <= 0:
+            raise ValueError("area size and radio range must be positive")
+        if speed < 0:
+            raise ValueError("speed must be non-negative")
+        self.area_size = area_size
+        self.radio_range = radio_range
+        self.speed = speed
+        self.link_latency = link_latency
+        self.link_bandwidth_bps = link_bandwidth_bps
+        self._names = list(device_names)
+        self._random = random.Random(seed)
+        self._positions: Dict[str, DevicePosition] = {
+            name: self._spawn_position() for name in self._names}
+        self._last_update = 0.0
+
+    def _spawn_position(self) -> DevicePosition:
+        return DevicePosition(
+            x=self._random.uniform(0, self.area_size),
+            y=self._random.uniform(0, self.area_size),
+            target_x=self._random.uniform(0, self.area_size),
+            target_y=self._random.uniform(0, self.area_size),
+            speed=self.speed,
+        )
+
+    def device_names(self) -> List[str]:
+        """Names of the mobile devices."""
+        return list(self._names)
+
+    def position_of(self, name: str) -> tuple[float, float]:
+        """Current (x, y) of one device."""
+        position = self._positions[name]
+        return (position.x, position.y)
+
+    def _advance(self, elapsed: float) -> None:
+        for position in self._positions.values():
+            remaining = elapsed
+            while remaining > 0:
+                distance_x = position.target_x - position.x
+                distance_y = position.target_y - position.y
+                distance = math.hypot(distance_x, distance_y)
+                travel = position.speed * remaining
+                if position.speed == 0:
+                    break
+                if travel >= distance:
+                    position.x = position.target_x
+                    position.y = position.target_y
+                    remaining -= distance / position.speed if position.speed \
+                        else remaining
+                    position.target_x = self._random.uniform(0, self.area_size)
+                    position.target_y = self._random.uniform(0, self.area_size)
+                else:
+                    fraction = travel / distance
+                    position.x += distance_x * fraction
+                    position.y += distance_y * fraction
+                    remaining = 0.0
+
+    def links_at(self, time: float) -> List[Link]:
+        """Advance positions to ``time`` and return the current links."""
+        elapsed = time - self._last_update
+        if elapsed < 0:
+            raise ValueError("mobility time cannot move backwards")
+        if elapsed > 0:
+            self._advance(elapsed)
+            self._last_update = time
+        links: List[Link] = []
+        for index, first in enumerate(self._names):
+            for second in self._names[index + 1:]:
+                first_position = self._positions[first]
+                second_position = self._positions[second]
+                distance = math.hypot(first_position.x - second_position.x,
+                                      first_position.y - second_position.y)
+                if distance <= self.radio_range:
+                    links.append(Link(first, second,
+                                      latency=self.link_latency,
+                                      bandwidth_bps=self.link_bandwidth_bps))
+        return links
+
+    def churn_rate(self, horizon: float, step: float = 1.0) -> float:
+        """Fraction of links that change per step over a time horizon.
+
+        Used by the swarm experiments to characterize "how mobile" a
+        deployment is independently of the protocol under test.
+        """
+        if horizon <= 0 or step <= 0:
+            raise ValueError("horizon and step must be positive")
+        start = self._last_update
+        previous = {(link.node_a, link.node_b)
+                    for link in self.links_at(start)}
+        changes = 0
+        samples = 0
+        time = start
+        while time < start + horizon:
+            time += step
+            current = {(link.node_a, link.node_b) for link in self.links_at(time)}
+            union = previous | current
+            if union:
+                changes += len(previous ^ current) / len(union)
+            samples += 1
+            previous = current
+        return changes / samples if samples else 0.0

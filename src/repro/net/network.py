@@ -1,0 +1,141 @@
+"""The network: nodes, links, routing and event-driven delivery."""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, Optional
+
+import networkx as nx
+
+from repro.net.link import Link
+from repro.net.node import NetworkNode
+from repro.net.packet import Packet
+from repro.sim.engine import SimulationEngine
+from repro.sim.events import EventKind
+
+
+class Network:
+    """A topology of nodes and links with shortest-path packet delivery.
+
+    Packets traverse the current shortest path hop by hop; each hop adds
+    the link's transfer delay and may drop the packet.  Topology changes
+    (mobility) simply rewire the underlying graph — packets already "in
+    flight" on a removed link are lost, which is exactly the behaviour
+    that breaks on-demand swarm attestation in high-mobility settings.
+    """
+
+    def __init__(self, engine: SimulationEngine, seed: int = 0) -> None:
+        self.engine = engine
+        self.graph = nx.Graph()
+        self._nodes: Dict[str, NetworkNode] = {}
+        self._random = random.Random(seed)
+        self.delivered_packets = 0
+        self.dropped_packets = 0
+        self.unroutable_packets = 0
+
+    # ------------------------------------------------------------------
+    # Topology management
+    # ------------------------------------------------------------------
+    def add_node(self, node: NetworkNode) -> NetworkNode:
+        """Attach a node to the network."""
+        if node.name in self._nodes:
+            raise ValueError(f"duplicate node name {node.name!r}")
+        self._nodes[node.name] = node
+        node.network = self
+        self.graph.add_node(node.name)
+        return node
+
+    def node(self, name: str) -> NetworkNode:
+        """Look up a node by name."""
+        try:
+            return self._nodes[name]
+        except KeyError as exc:
+            raise KeyError(f"no node named {name!r}") from exc
+
+    def nodes(self) -> list[NetworkNode]:
+        """All attached nodes."""
+        return list(self._nodes.values())
+
+    def add_link(self, link: Link) -> Link:
+        """Connect two existing nodes with a link."""
+        for endpoint in link.endpoints():
+            if endpoint not in self._nodes:
+                raise KeyError(f"link endpoint {endpoint!r} is not a node")
+        self.graph.add_edge(link.node_a, link.node_b, link=link)
+        return link
+
+    def remove_link(self, first: str, second: str) -> None:
+        """Remove the link between two nodes, if present."""
+        if self.graph.has_edge(first, second):
+            self.graph.remove_edge(first, second)
+
+    def link_between(self, first: str, second: str) -> Optional[Link]:
+        """The link joining two nodes, if any."""
+        if not self.graph.has_edge(first, second):
+            return None
+        return self.graph.edges[first, second]["link"]
+
+    def set_links(self, links: Iterable[Link]) -> None:
+        """Replace the entire set of links (used by mobility models)."""
+        self.graph.remove_edges_from(list(self.graph.edges))
+        for link in links:
+            self.add_link(link)
+
+    def neighbors(self, name: str) -> list[str]:
+        """Names of the node's current one-hop neighbours."""
+        return list(self.graph.neighbors(name))
+
+    def is_connected(self, first: str, second: str) -> bool:
+        """True when a path currently exists between the two nodes."""
+        return nx.has_path(self.graph, first, second)
+
+    # ------------------------------------------------------------------
+    # Packet delivery
+    # ------------------------------------------------------------------
+    def path(self, source: str, destination: str) -> Optional[list[str]]:
+        """Current shortest path (by link latency), or ``None``."""
+        try:
+            return nx.shortest_path(
+                self.graph, source, destination,
+                weight=lambda u, v, data: data["link"].latency)
+        except (nx.NetworkXNoPath, nx.NodeNotFound):
+            return None
+
+    def transmit(self, packet: Packet) -> bool:
+        """Send a packet along the current shortest path.
+
+        Returns ``True`` when the packet was admitted (a route existed at
+        send time); delivery itself is scheduled on the event engine and
+        may still fail mid-path due to loss or link removal.
+        """
+        route = self.path(packet.source, packet.destination)
+        if route is None or len(route) < 2:
+            self.unroutable_packets += 1
+            return False
+        self._schedule_hop(packet, route, hop_index=0, time=self.engine.now)
+        return True
+
+    def _schedule_hop(self, packet: Packet, route: list[str], hop_index: int,
+                      time: float) -> None:
+        current, following = route[hop_index], route[hop_index + 1]
+        link = self.link_between(current, following)
+        if link is None:
+            # The topology changed underneath the packet: it is lost.
+            self.dropped_packets += 1
+            return
+        if self._random.random() < link.loss_probability:
+            self.dropped_packets += 1
+            return
+        arrival = time + link.transfer_delay(packet)
+
+        def _arrive(_event) -> None:
+            if hop_index + 2 >= len(route):
+                self.delivered_packets += 1
+                self._nodes[route[-1]].deliver(
+                    packet.forwarded(route[-1]), self.engine.now)
+            else:
+                self._schedule_hop(packet, route, hop_index + 1,
+                                   self.engine.now)
+
+        self.engine.schedule(arrival, _arrive, EventKind.PACKET_DELIVERY,
+                             payload=packet.kind)

@@ -1,0 +1,39 @@
+"""Datagrams exchanged over the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+#: Fixed protocol overhead per datagram: Ethernet (14) + IP (20) + UDP (8).
+HEADER_OVERHEAD_BYTES = 42
+
+_packet_ids = itertools.count()
+
+
+@dataclass(frozen=True)
+class Packet:
+    """A UDP-style datagram.
+
+    ``payload`` carries an encoded protocol message (see
+    :mod:`repro.core.protocol`); ``kind`` is a human-readable label used
+    by traces and tests.
+    """
+
+    source: str
+    destination: str
+    payload: bytes
+    kind: str = "data"
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    hop_count: int = 0
+
+    @property
+    def size_bytes(self) -> int:
+        """On-the-wire size including protocol headers."""
+        return len(self.payload) + HEADER_OVERHEAD_BYTES
+
+    def forwarded(self, new_destination: str) -> "Packet":
+        """Copy of the packet re-addressed for the next hop."""
+        return Packet(source=self.source, destination=new_destination,
+                      payload=self.payload, kind=self.kind,
+                      hop_count=self.hop_count + 1)

@@ -1,0 +1,58 @@
+"""Event objects used by the simulation engine."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+
+class EventKind(enum.Enum):
+    """Coarse classification of simulation events.
+
+    The kinds mirror the actors in the paper: the prover's measurement
+    timer, the verifier's collection requests, network packet delivery,
+    adversary activity and generic application tasks.
+    """
+
+    MEASUREMENT = "measurement"
+    COLLECTION = "collection"
+    PACKET_DELIVERY = "packet_delivery"
+    MALWARE_ARRIVAL = "malware_arrival"
+    MALWARE_DEPARTURE = "malware_departure"
+    TASK = "task"
+    TIMER = "timer"
+    GENERIC = "generic"
+
+
+_sequence = itertools.count()
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled event.
+
+    Events are ordered by ``(time, sequence)`` so that simultaneous
+    events fire in scheduling order, which keeps traces deterministic.
+    """
+
+    time: float
+    sequence: int = field(compare=True)
+    kind: EventKind = field(compare=False, default=EventKind.GENERIC)
+    callback: Optional[Callable[["Event"], None]] = field(
+        compare=False, default=None)
+    payload: Any = field(compare=False, default=None)
+    cancelled: bool = field(compare=False, default=False)
+
+    @classmethod
+    def create(cls, time: float, callback: Callable[["Event"], None],
+               kind: EventKind = EventKind.GENERIC,
+               payload: Any = None) -> "Event":
+        """Build an event with a fresh global sequence number."""
+        return cls(time=time, sequence=next(_sequence), kind=kind,
+                   callback=callback, payload=payload)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine will skip it."""
+        self.cancelled = True

@@ -1,0 +1,62 @@
+"""Trace recording for simulation runs.
+
+The analysis code (QoA, detection probability, swarm metrics) consumes
+traces rather than inspecting live objects, which keeps experiments
+reproducible and lets tests assert against exactly what happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded occurrence: a time, a category and free-form details."""
+
+    time: float
+    category: str
+    details: dict[str, Any] = field(default_factory=dict)
+
+
+class TraceRecorder:
+    """Append-only, time-ordered list of :class:`TraceEvent` records."""
+
+    def __init__(self) -> None:
+        self._events: list[TraceEvent] = []
+
+    def record(self, time: float, category: str, **details: Any) -> TraceEvent:
+        """Append a trace event and return it."""
+        event = TraceEvent(time=time, category=category, details=dict(details))
+        self._events.append(event)
+        return event
+
+    def events(self, category: str | None = None) -> list[TraceEvent]:
+        """Return recorded events, optionally filtered by category."""
+        if category is None:
+            return list(self._events)
+        return [event for event in self._events if event.category == category]
+
+    def categories(self) -> set[str]:
+        """Return the set of categories seen so far."""
+        return {event.category for event in self._events}
+
+    def between(self, start: float, end: float,
+                category: str | None = None) -> list[TraceEvent]:
+        """Return events with ``start <= time <= end``."""
+        return [event for event in self.events(category)
+                if start <= event.time <= end]
+
+    def last(self, category: str) -> TraceEvent | None:
+        """Return the most recent event of a category, if any."""
+        for event in reversed(self._events):
+            if event.category == category:
+                return event
+        return None
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

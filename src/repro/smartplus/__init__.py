@@ -1,0 +1,25 @@
+"""SMART+ security architecture model (low-end devices).
+
+SMART+ is the DoS-hardened extension of SMART: ROM-resident attestation
+code, a key accessible only from that code, atomic (uninterruptible)
+execution, and a Reliable Read-Only Clock for request freshness.  The
+paper builds its low-end ERASMUS prototype on SMART+ over an openMSP430
+core (Figure 5, Table 1, Figure 6).
+
+:class:`SmartPlusArchitecture` implements the
+:class:`repro.arch.SecurityArchitecture` interface on top of the memory,
+clock and cost models in :mod:`repro.hw`.
+"""
+
+from repro.smartplus.architecture import (
+    SmartPlusArchitecture,
+    build_smartplus_architecture,
+)
+from repro.smartplus.rom import RomImage, build_rom_image
+
+__all__ = [
+    "RomImage",
+    "SmartPlusArchitecture",
+    "build_rom_image",
+    "build_smartplus_architecture",
+]

@@ -1,0 +1,47 @@
+"""Swarm attestation (Section 6).
+
+Swarm RA protocols attest a group of interconnected devices with a
+single verifier interaction.  The paper's observation: on-demand swarm
+protocols (SEDA, SANA, LISA) need the topology to stay essentially
+static for the duration of the protocol — which is dominated by every
+device's measurement computation — so they degrade badly in highly
+mobile swarms.  ERASMUS's collection phase involves no computation, so
+coupling self-measurement with a LISA-α-style relay protocol keeps
+working under mobility.
+
+This package provides:
+
+* :mod:`repro.swarm.device` — the per-device description used by the
+  swarm simulations;
+* :mod:`repro.swarm.protocols` — SEDA-like aggregation, LISA-α / LISA-s
+  relay baselines, and the ERASMUS-based collection protocol, all run
+  against a mobility model;
+* :mod:`repro.swarm.metrics` — QoSA levels and result records;
+* :mod:`repro.swarm.scheduling` — staggered measurement schedules that
+  bound the fraction of the swarm measuring concurrently (the
+  availability argument at the end of Section 6).
+"""
+
+from repro.swarm.device import SwarmDevice, build_swarm
+from repro.swarm.metrics import QoSALevel, SwarmAttestationResult
+from repro.swarm.protocols import (
+    ErasmusSwarmCollection,
+    LisaAlphaProtocol,
+    LisaSelfProtocol,
+    SedaProtocol,
+    SwarmRAProtocol,
+)
+from repro.swarm.scheduling import StaggeredSchedule
+
+__all__ = [
+    "ErasmusSwarmCollection",
+    "LisaAlphaProtocol",
+    "LisaSelfProtocol",
+    "QoSALevel",
+    "SedaProtocol",
+    "StaggeredSchedule",
+    "SwarmAttestationResult",
+    "SwarmDevice",
+    "SwarmRAProtocol",
+    "build_swarm",
+]

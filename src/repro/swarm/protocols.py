@@ -1,0 +1,319 @@
+"""Swarm attestation protocols run against a mobility model.
+
+All protocols share the same skeleton:
+
+1. the verifier injects a request at a gateway device; the request
+   floods the swarm along a BFS tree of the topology *at start time*;
+2. each device spends its service time (a full measurement for
+   on-demand protocols, a negligible buffer read for ERASMUS);
+3. evidence travels back towards the gateway hop by hop; every hop is
+   only possible if the corresponding link still exists *at the moment
+   the report traverses it*.
+
+Because the topology is re-sampled from the mobility model as time
+passes, long-running protocols (whose duration is dominated by the
+per-device measurement) lose devices when links move, while the
+near-instant ERASMUS collection is barely affected — the Section 6
+claim this module exists to demonstrate.
+
+The protocols differ in how evidence travels back:
+
+* :class:`SedaProtocol` — SEDA-style aggregation: a parent waits for its
+  children's reports and sends a single aggregate upward; a broken link
+  loses the evidence of the entire subtree below it.
+* :class:`LisaAlphaProtocol` — LISA-α: no aggregation, devices simply
+  relay individual reports towards the gateway as soon as they are done.
+* :class:`LisaSelfProtocol` — LISA-s: like LISA-α with per-hop
+  sequencing overhead, trading latency for ordered reporting.
+* :class:`ErasmusSwarmCollection` — ERASMUS + LISA-α-style relaying of
+  *stored* measurements: no computation anywhere on the path.
+"""
+
+from __future__ import annotations
+
+import abc
+import collections
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+from repro.net.mobility import MobilityModel
+from repro.swarm.device import SwarmDevice
+from repro.swarm.metrics import QoSALevel, SwarmAttestationResult
+
+
+class _TopologySampler:
+    """Caches topology snapshots so link liveness can be queried freely.
+
+    Mobility models only move forward in time; protocol evaluation,
+    however, needs link-liveness queries in arbitrary order.  The
+    sampler quantizes time to a fixed resolution, advances the mobility
+    model monotonically and caches each snapshot.
+    """
+
+    def __init__(self, mobility: MobilityModel, start_time: float,
+                 resolution: float = 0.1) -> None:
+        if resolution <= 0:
+            raise ValueError("sampling resolution must be positive")
+        self._mobility = mobility
+        self._resolution = resolution
+        self._start = start_time
+        self._snapshots: Dict[int, FrozenSet[Tuple[str, str]]] = {}
+        self._last_step = -1
+
+    def _step_for(self, time: float) -> int:
+        return max(0, int(math.floor((time - self._start) / self._resolution)))
+
+    def _ensure(self, step: int) -> None:
+        while self._last_step < step:
+            self._last_step += 1
+            snapshot_time = self._start + self._last_step * self._resolution
+            links = self._mobility.links_at(snapshot_time)
+            edges = frozenset(tuple(sorted(link.endpoints()))
+                              for link in links)
+            self._snapshots[self._last_step] = edges
+
+    def edges_at(self, time: float) -> FrozenSet[Tuple[str, str]]:
+        """The set of (sorted) edges present at the snapshot covering ``time``."""
+        step = self._step_for(time)
+        self._ensure(step)
+        return self._snapshots[step]
+
+    def link_alive(self, first: str, second: str, time: float) -> bool:
+        """True when the link between the two nodes exists at ``time``."""
+        return tuple(sorted((first, second))) in self.edges_at(time)
+
+
+@dataclass
+class _TreeNode:
+    """BFS tree bookkeeping for one device."""
+
+    parent: Optional[str]
+    depth: int
+    children: List[str]
+
+
+class SwarmRAProtocol(abc.ABC):
+    """Base class implementing the flood / serve / report-back skeleton."""
+
+    #: Human-readable protocol name (overridden by subclasses).
+    name = "base"
+    #: QoSA level the protocol provides.
+    qosa_level = QoSALevel.LIST
+
+    def __init__(self, hop_delay: float = 0.01,
+                 topology_resolution: float = 0.1) -> None:
+        if hop_delay <= 0:
+            raise ValueError("hop delay must be positive")
+        self.hop_delay = hop_delay
+        self.topology_resolution = topology_resolution
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    def _bfs_tree(self, sampler: _TopologySampler, gateway: str,
+                  time: float) -> Dict[str, _TreeNode]:
+        adjacency: Dict[str, set[str]] = collections.defaultdict(set)
+        for first, second in sampler.edges_at(time):
+            adjacency[first].add(second)
+            adjacency[second].add(first)
+        tree: Dict[str, _TreeNode] = {
+            gateway: _TreeNode(parent=None, depth=0, children=[])}
+        frontier = collections.deque([gateway])
+        while frontier:
+            current = frontier.popleft()
+            for neighbor in sorted(adjacency.get(current, ())):
+                if neighbor not in tree:
+                    tree[neighbor] = _TreeNode(parent=current,
+                                               depth=tree[current].depth + 1,
+                                               children=[])
+                    tree[current].children.append(neighbor)
+                    frontier.append(neighbor)
+        return tree
+
+    # ------------------------------------------------------------------
+    # Protocol skeleton
+    # ------------------------------------------------------------------
+    @abc.abstractmethod
+    def _service_time(self, device: SwarmDevice) -> float:
+        """Time a device spends producing its evidence."""
+
+    @abc.abstractmethod
+    def _aggregate(self) -> bool:
+        """True when parents aggregate their subtree before reporting."""
+
+    def run(self, devices: List[SwarmDevice], mobility: MobilityModel,
+            gateway: str, start_time: float = 0.0) -> SwarmAttestationResult:
+        """Run one protocol instance and return the attestation result."""
+        device_map = {device.device_id: device for device in devices}
+        if gateway not in device_map:
+            raise KeyError(f"gateway {gateway!r} is not a swarm device")
+        sampler = _TopologySampler(mobility, start_time,
+                                   self.topology_resolution)
+        tree = self._bfs_tree(sampler, gateway, start_time)
+
+        # Devices never reached by the request flood cannot be attested.
+        reachable = [name for name in tree if name in device_map]
+        unreachable = [device.device_id for device in devices
+                       if device.device_id not in tree]
+
+        # Phases 1+2: request arrival and evidence-ready times.
+        ready_time: Dict[str, float] = {}
+        for name in reachable:
+            node = tree[name]
+            arrival = start_time + node.depth * self.hop_delay
+            ready_time[name] = arrival + self._service_time(device_map[name])
+
+        if self._aggregate():
+            attested, failed, finish_time = self._run_aggregated(
+                sampler, tree, reachable, ready_time, gateway, start_time)
+        else:
+            attested, failed, finish_time = self._run_individual(
+                sampler, tree, reachable, ready_time, gateway, start_time)
+        failed.extend(unreachable)
+
+        return SwarmAttestationResult(
+            protocol=self.name,
+            devices_total=len(devices),
+            devices_attested=len(attested),
+            duration=finish_time - start_time,
+            qosa_level=self.qosa_level,
+            attested_ids=sorted(attested),
+            failed_ids=sorted(failed),
+        )
+
+    def _run_individual(self, sampler: _TopologySampler,
+                        tree: Dict[str, _TreeNode], reachable: List[str],
+                        ready_time: Dict[str, float], gateway: str,
+                        start_time: float
+                        ) -> tuple[List[str], List[str], float]:
+        """Each report travels hop by hop; a dead link loses that report only."""
+        attested: List[str] = []
+        failed: List[str] = []
+        finish_time = start_time
+        for name in sorted(reachable, key=lambda n: tree[n].depth):
+            time = ready_time[name]
+            current = name
+            delivered = True
+            while current != gateway:
+                parent = tree[current].parent
+                assert parent is not None
+                if not sampler.link_alive(current, parent, time):
+                    delivered = False
+                    break
+                time += self.hop_delay
+                current = parent
+            if delivered:
+                attested.append(name)
+                finish_time = max(finish_time, time)
+            else:
+                failed.append(name)
+        return attested, failed, finish_time
+
+    def _run_aggregated(self, sampler: _TopologySampler,
+                        tree: Dict[str, _TreeNode], reachable: List[str],
+                        ready_time: Dict[str, float], gateway: str,
+                        start_time: float
+                        ) -> tuple[List[str], List[str], float]:
+        """Parents wait for their whole subtree before sending one aggregate.
+
+        The aggregate containing a device's evidence is transmitted by
+        every ancestor in turn; if any of those transmissions happens
+        over a link that has meanwhile disappeared, that device's
+        evidence never reaches the verifier.
+        """
+        # Bottom-up completion time of each subtree's aggregate.
+        send_time: Dict[str, float] = {}
+        subtree_done: Dict[str, float] = {}
+        for name in sorted(reachable, key=lambda n: -tree[n].depth):
+            node = tree[name]
+            done = ready_time[name]
+            for child in node.children:
+                if child in subtree_done:
+                    done = max(done, subtree_done[child])
+            send_time[name] = done
+            subtree_done[name] = done if node.parent is None \
+                else done + self.hop_delay
+
+        attested: List[str] = []
+        failed: List[str] = []
+        for name in reachable:
+            current = name
+            delivered = True
+            while current != gateway:
+                parent = tree[current].parent
+                assert parent is not None
+                if not sampler.link_alive(current, parent, send_time[current]):
+                    delivered = False
+                    break
+                current = parent
+            if delivered:
+                attested.append(name)
+            else:
+                failed.append(name)
+        finish_time = subtree_done.get(gateway, start_time)
+        return attested, failed, finish_time
+
+
+class SedaProtocol(SwarmRAProtocol):
+    """SEDA-style on-demand swarm attestation with in-network aggregation."""
+
+    name = "seda"
+    qosa_level = QoSALevel.BINARY
+
+    def _service_time(self, device: SwarmDevice) -> float:
+        return device.attestation_service_time(on_demand=True)
+
+    def _aggregate(self) -> bool:
+        return True
+
+
+class LisaAlphaProtocol(SwarmRAProtocol):
+    """LISA-α: on-demand measurements, individual reports relayed upstream."""
+
+    name = "lisa-alpha"
+    qosa_level = QoSALevel.LIST
+
+    def _service_time(self, device: SwarmDevice) -> float:
+        return device.attestation_service_time(on_demand=True)
+
+    def _aggregate(self) -> bool:
+        return False
+
+
+class LisaSelfProtocol(LisaAlphaProtocol):
+    """LISA-s: like LISA-α, with per-hop sequencing overhead."""
+
+    name = "lisa-s"
+    qosa_level = QoSALevel.FULL
+
+    def __init__(self, hop_delay: float = 0.01,
+                 topology_resolution: float = 0.1,
+                 sequencing_overhead: float = 0.005) -> None:
+        super().__init__(hop_delay=hop_delay,
+                         topology_resolution=topology_resolution)
+        if sequencing_overhead < 0:
+            raise ValueError("sequencing overhead must be non-negative")
+        self.sequencing_overhead = sequencing_overhead
+
+    def _service_time(self, device: SwarmDevice) -> float:
+        return super()._service_time(device) + self.sequencing_overhead
+
+
+class ErasmusSwarmCollection(SwarmRAProtocol):
+    """ERASMUS-based swarm collection: relay stored measurements only.
+
+    Devices self-measure on their own schedules; the collection merely
+    reads and relays the stored records (LISA-α-style), so the whole
+    instance completes in network round-trip time and survives mobility
+    that would break the on-demand protocols.
+    """
+
+    name = "erasmus-collection"
+    qosa_level = QoSALevel.LIST
+
+    def _service_time(self, device: SwarmDevice) -> float:
+        return device.attestation_service_time(on_demand=False)
+
+    def _aggregate(self) -> bool:
+        return False

@@ -1,0 +1,78 @@
+"""Tests for the tampering and clock-rewind adversaries."""
+
+import pytest
+
+from repro.adversary import ClockRewindAttempt, TamperingMalware
+from repro.core import Measurement, MeasurementStore
+from repro.hw.clock import ReliableClock
+
+
+def filled_store() -> MeasurementStore:
+    store = MeasurementStore(slots=8, measurement_interval=10.0)
+    for timestamp in (10.0, 20.0, 30.0, 40.0, 50.0):
+        store.store(Measurement(timestamp, bytes([int(timestamp)]) * 32,
+                                b"\xAA" * 32))
+    return store
+
+
+def test_delete_latest_removes_newest():
+    store = filled_store()
+    malware = TamperingMalware(store)
+    assert malware.delete_latest(2) == 2
+    remaining = {m.timestamp for m in store.all_measurements()}
+    assert remaining == {10.0, 20.0, 30.0}
+    assert "delete_latest(2)" in malware.actions
+
+
+def test_wipe_all_clears_store():
+    store = filled_store()
+    TamperingMalware(store).wipe_all()
+    assert store.occupancy() == 0
+
+
+def test_corrupt_latest_changes_digest_not_tag():
+    store = filled_store()
+    original = store.newest()
+    corrupted = TamperingMalware(store).corrupt_latest()
+    assert corrupted is not None
+    assert corrupted.digest != original.digest
+    assert corrupted.tag == original.tag
+    assert store.newest().digest == corrupted.digest
+
+
+def test_corrupt_empty_store_returns_none():
+    empty = MeasurementStore(slots=4, measurement_interval=10.0)
+    assert TamperingMalware(empty).corrupt_latest() is None
+    assert TamperingMalware(empty).replay_old_measurement() is None
+
+
+def test_replay_old_measurement_duplicates_timestamp():
+    store = filled_store()
+    replayed = TamperingMalware(store).replay_old_measurement()
+    assert replayed is not None
+    timestamps = [m.timestamp for m in store.all_measurements()]
+    assert timestamps.count(10.0) == 2
+
+
+def test_forge_measurement_has_random_tag():
+    store = filled_store()
+    forged = TamperingMalware(store, seed=1).forge_measurement(60.0,
+                                                               b"\x00" * 32)
+    assert forged.timestamp == 60.0
+    assert forged.tag != b"\xAA" * 32
+    assert store.newest().timestamp == 60.0
+
+
+def test_reorder_keeps_occupancy():
+    store = filled_store()
+    TamperingMalware(store, seed=2).reorder()
+    assert store.occupancy() == 5
+
+
+def test_clock_rewind_is_blocked():
+    clock = ReliableClock()
+    clock.advance_to(500.0)
+    attempt = ClockRewindAttempt(clock=clock, target_time=100.0)
+    assert attempt.execute() is True
+    assert attempt.blocked is True
+    assert clock.read() == pytest.approx(500.0)

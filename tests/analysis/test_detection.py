@@ -1,0 +1,85 @@
+"""Tests for the timeline-level detection analysis."""
+
+import math
+
+import pytest
+
+from repro.adversary import Infection, MalwareCampaign
+from repro.analysis import (
+    detection_latency,
+    infection_detected,
+    simulate_detection,
+)
+from repro.core.scheduler import IrregularScheduler
+
+
+def test_infection_detected_when_measurement_falls_inside():
+    infection = Infection("dev", start=25.0, end=45.0)
+    assert infection_detected(infection, [10.0, 30.0, 60.0])
+    assert not infection_detected(infection, [10.0, 50.0, 60.0])
+    persistent = Infection("dev", start=25.0)
+    assert infection_detected(persistent, [100.0])
+
+
+def test_detection_latency_uses_first_collection_after_evidence():
+    infection = Infection("dev", start=25.0, end=45.0)
+    latency = detection_latency(infection, measurement_times=[30.0, 40.0],
+                                collection_times=[20.0, 100.0, 200.0])
+    assert latency == pytest.approx(75.0)
+    assert detection_latency(infection, [50.0], [100.0]) is None
+    assert detection_latency(infection, [30.0], [10.0]) is None
+
+
+def test_simulate_detection_erasmus_beats_on_demand():
+    campaign = MalwareCampaign(arrival_rate=1 / 400.0, mean_dwell=40.0, seed=5)
+    erasmus = simulate_detection(60.0, 600.0, campaign, horizon=200_000.0)
+    on_demand = simulate_detection(60.0, 600.0, campaign, horizon=200_000.0,
+                                   on_demand_only=True)
+    assert erasmus.total_infections == on_demand.total_infections > 50
+    assert erasmus.detection_rate > on_demand.detection_rate
+    assert erasmus.detection_rate > 0.3
+
+
+def test_detection_rate_matches_analytic_for_exponential_dwell():
+    # For exponentially distributed dwell with mean d, the detection
+    # probability under a regular T_M schedule is (d/T_M)(1 - e^(-T_M/d)).
+    measurement_interval = 60.0
+    mean_dwell = 60.0
+    campaign = MalwareCampaign(arrival_rate=1 / 500.0, mean_dwell=mean_dwell,
+                               seed=11)
+    summary = simulate_detection(measurement_interval, 600.0, campaign,
+                                 horizon=400_000.0)
+    expected = (mean_dwell / measurement_interval) * \
+        (1 - math.exp(-measurement_interval / mean_dwell))
+    assert summary.detection_rate == pytest.approx(expected, abs=0.08)
+
+
+def test_latencies_bounded_by_collection_interval():
+    campaign = MalwareCampaign(arrival_rate=1 / 300.0, mean_dwell=120.0,
+                               seed=2)
+    summary = simulate_detection(30.0, 300.0, campaign, horizon=50_000.0)
+    assert summary.mean_latency is not None
+    assert summary.max_latency <= 300.0 + 120.0 + 30.0
+    assert summary.mean_latency < summary.max_latency + 1e-9
+
+
+def test_custom_scheduler_is_honoured():
+    campaign = MalwareCampaign(arrival_rate=1 / 300.0, mean_dwell=50.0, seed=4)
+    scheduler = IrregularScheduler(b"key", lower=30.0, upper=90.0)
+    summary = simulate_detection(60.0, 600.0, campaign, horizon=40_000.0,
+                                 scheduler=scheduler)
+    assert summary.measurement_count > 400
+
+
+def test_no_infections_counts_as_full_detection():
+    campaign = MalwareCampaign(arrival_rate=1e-9, mean_dwell=10.0, seed=1)
+    summary = simulate_detection(60.0, 600.0, campaign, horizon=1000.0)
+    assert summary.total_infections == 0
+    assert summary.detection_rate == 1.0
+    assert summary.mean_latency is None
+
+
+def test_invalid_horizon_rejected():
+    campaign = MalwareCampaign(arrival_rate=0.1, mean_dwell=1.0)
+    with pytest.raises(ValueError):
+        simulate_detection(60.0, 600.0, campaign, horizon=0.0)

@@ -1,0 +1,104 @@
+"""Tests for the protocol message encodings."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    CollectRequest,
+    CollectResponse,
+    Measurement,
+    OnDemandRequest,
+    OnDemandResponse,
+)
+from repro.core.protocol import ProtocolDecodeError
+
+
+def record(timestamp: float) -> Measurement:
+    return Measurement(timestamp=timestamp, digest=bytes([int(timestamp)]) * 32,
+                       tag=b"\x99" * 32)
+
+
+def test_collect_request_roundtrip():
+    request = CollectRequest(k=7)
+    assert CollectRequest.decode(request.encode()) == request
+
+
+def test_collect_request_invalid():
+    with pytest.raises(ValueError):
+        CollectRequest(k=-1).encode()
+    with pytest.raises(ProtocolDecodeError):
+        CollectRequest.decode(b"\xFF\x00\x00\x00\x07")
+    with pytest.raises(ProtocolDecodeError):
+        CollectRequest.decode(b"\x01")
+
+
+def test_collect_response_roundtrip():
+    response = CollectResponse(measurements=[record(30.0), record(20.0)])
+    decoded = CollectResponse.decode(response.encode())
+    assert len(decoded.measurements) == 2
+    assert decoded.measurements[0].timestamp == pytest.approx(30.0)
+    assert decoded.measurements[1].digest == record(20.0).digest
+
+
+def test_empty_collect_response_roundtrip():
+    decoded = CollectResponse.decode(CollectResponse().encode())
+    assert decoded.measurements == []
+
+
+def test_collect_response_rejects_corruption():
+    encoded = CollectResponse(measurements=[record(30.0)]).encode()
+    with pytest.raises(ProtocolDecodeError):
+        CollectResponse.decode(encoded[:-4])
+    with pytest.raises(ProtocolDecodeError):
+        CollectResponse.decode(encoded + b"\x00")
+    with pytest.raises(ProtocolDecodeError):
+        CollectResponse.decode(b"\x07" + encoded[1:])
+
+
+def test_ondemand_request_roundtrip():
+    request = OnDemandRequest(request_time=101.5, k=4, tag=b"\x42" * 32)
+    decoded = OnDemandRequest.decode(request.encode())
+    assert decoded.request_time == pytest.approx(101.5)
+    assert decoded.k == 4
+    assert decoded.tag == b"\x42" * 32
+
+
+def test_ondemand_request_rejects_bad_payload():
+    with pytest.raises(ProtocolDecodeError):
+        OnDemandRequest.decode(b"\x03\x00")
+    encoded = OnDemandRequest(request_time=1.0, k=1, tag=b"\x00" * 32).encode()
+    with pytest.raises(ProtocolDecodeError):
+        OnDemandRequest.decode(encoded[:-1])
+
+
+def test_ondemand_response_roundtrip_with_fresh():
+    response = OnDemandResponse(fresh=record(50.0),
+                                measurements=[record(40.0), record(30.0)])
+    decoded = OnDemandResponse.decode(response.encode())
+    assert decoded.fresh is not None
+    assert decoded.fresh.timestamp == pytest.approx(50.0)
+    assert [m.timestamp for m in decoded.measurements] == [40.0, 30.0]
+
+
+def test_ondemand_response_roundtrip_refusal():
+    decoded = OnDemandResponse.decode(
+        OnDemandResponse(fresh=None, measurements=[]).encode())
+    assert decoded.fresh is None
+    assert decoded.measurements == []
+
+
+def test_response_size_reflects_measurement_count():
+    small = CollectResponse(measurements=[record(1.0)])
+    large = CollectResponse(measurements=[record(float(t)) for t in range(10)])
+    assert large.size_bytes > small.size_bytes
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False),
+                max_size=12))
+def test_collect_response_roundtrip_property(timestamps):
+    response = CollectResponse(measurements=[record(min(t, 255.0))
+                                             for t in timestamps])
+    decoded = CollectResponse.decode(response.encode())
+    assert len(decoded.measurements) == len(timestamps)

@@ -1,0 +1,88 @@
+"""Tests for the HMAC-DRBG CSPRNG used by irregular scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.csprng import HmacDrbg
+
+
+def test_deterministic_for_same_seed():
+    first = HmacDrbg(b"seed material")
+    second = HmacDrbg(b"seed material")
+    assert first.generate(64) == second.generate(64)
+
+
+def test_different_seeds_differ():
+    assert HmacDrbg(b"seed-a").generate(32) != HmacDrbg(b"seed-b").generate(32)
+
+
+def test_personalization_changes_output():
+    plain = HmacDrbg(b"seed")
+    personalized = HmacDrbg(b"seed", personalization=b"device-7")
+    assert plain.generate(32) != personalized.generate(32)
+
+
+def test_successive_outputs_differ():
+    drbg = HmacDrbg(b"seed")
+    assert drbg.generate(32) != drbg.generate(32)
+
+
+def test_generate_length():
+    drbg = HmacDrbg(b"seed")
+    for length in (0, 1, 31, 32, 33, 100):
+        assert len(drbg.generate(length)) == length
+
+
+def test_generate_negative_rejected():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"seed").generate(-1)
+
+
+def test_empty_seed_rejected():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"")
+
+
+def test_reseed_changes_stream():
+    baseline = HmacDrbg(b"seed")
+    baseline.generate(16)
+    continued = baseline.generate(16)
+
+    reseeded = HmacDrbg(b"seed")
+    reseeded.generate(16)
+    reseeded.reseed(b"fresh entropy")
+    assert reseeded.generate(16) != continued
+
+
+def test_reseed_requires_entropy():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"seed").reseed(b"")
+
+
+def test_random_uint_bits():
+    drbg = HmacDrbg(b"seed")
+    value = drbg.random_uint(16)
+    assert 0 <= value < 2 ** 16
+    with pytest.raises(ValueError):
+        drbg.random_uint(12)
+
+
+def test_uniform_bounds_and_mean():
+    drbg = HmacDrbg(b"seed")
+    samples = [drbg.uniform(30.0, 90.0) for _ in range(400)]
+    assert all(30.0 <= sample < 90.0 for sample in samples)
+    mean = sum(samples) / len(samples)
+    assert 55.0 < mean < 65.0
+
+
+def test_uniform_invalid_bounds():
+    with pytest.raises(ValueError):
+        HmacDrbg(b"seed").uniform(10.0, 5.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.binary(min_size=1, max_size=64), st.integers(min_value=1,
+                                                       max_value=200))
+def test_reproducible_streams(seed, length):
+    assert HmacDrbg(seed).generate(length) == HmacDrbg(seed).generate(length)

@@ -1,0 +1,77 @@
+"""Tests for the MAC registry and the constant-time comparison."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.constant_time import constant_time_compare
+from repro.crypto.mac import MacAlgorithm, available_macs, get_mac, register_mac
+
+
+def test_three_paper_macs_are_registered():
+    names = {descriptor.name for descriptor in available_macs()}
+    assert {"hmac-sha1", "hmac-sha256", "keyed-blake2s"} <= names
+
+
+def test_sha1_is_marked_deprecated():
+    descriptors = {d.name: d for d in available_macs()}
+    assert descriptors["hmac-sha1"].deprecated
+    assert not descriptors["hmac-sha256"].deprecated
+
+
+def test_lookup_is_case_insensitive():
+    assert get_mac("HMAC-SHA256") is get_mac("hmac-sha256")
+
+
+def test_unknown_mac_raises():
+    with pytest.raises(ValueError, match="unknown MAC"):
+        get_mac("poly1305")
+
+
+def test_mac_and_verify_roundtrip():
+    for descriptor in available_macs():
+        algorithm = get_mac(descriptor.name)
+        tag = algorithm.mac(b"secret key", b"message")
+        assert len(tag) == algorithm.digest_size
+        assert algorithm.verify(b"secret key", b"message", tag)
+        assert not algorithm.verify(b"secret key", b"other message", tag)
+        assert not algorithm.verify(b"wrong key", b"message", tag)
+
+
+def test_compression_count_monotonic_in_length():
+    algorithm = get_mac("keyed-blake2s")
+    counts = [algorithm.compression_count(length)
+              for length in (0, 64, 128, 1024, 10 * 1024)]
+    assert counts == sorted(counts)
+    assert counts[0] >= 1
+
+
+def test_compression_count_rejects_negative():
+    with pytest.raises(ValueError):
+        get_mac("hmac-sha256").compression_count(-1)
+
+
+def test_register_custom_mac():
+    def xor_mac(key: bytes, data: bytes) -> bytes:
+        return bytes((sum(key) + sum(data)) % 256 for _ in range(4))
+
+    register_mac(MacAlgorithm("test-xor-mac", 16, 4, xor_mac, extra_blocks=0))
+    assert get_mac("test-xor-mac").mac(b"k", b"d") == xor_mac(b"k", b"d")
+
+
+def test_constant_time_compare_basics():
+    assert constant_time_compare(b"same bytes", b"same bytes")
+    assert not constant_time_compare(b"same bytes", b"Same bytes")
+    assert not constant_time_compare(b"short", b"longer value")
+    assert constant_time_compare(b"", b"")
+
+
+def test_constant_time_compare_type_check():
+    with pytest.raises(TypeError):
+        constant_time_compare("text", b"bytes")
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.binary(max_size=64), st.binary(max_size=64))
+def test_constant_time_compare_matches_equality(left, right):
+    assert constant_time_compare(left, right) == (left == right)

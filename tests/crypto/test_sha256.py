@@ -1,0 +1,86 @@
+"""Tests for the from-scratch SHA-256 implementation."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.sha256 import Sha256, sha256_digest
+
+
+# NIST / RFC test vectors.
+KNOWN_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"),
+    (b"a" * 1_000_000,
+     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+@pytest.mark.parametrize("message,expected", KNOWN_VECTORS)
+def test_known_vectors(message, expected):
+    assert sha256_digest(message).hex() == expected
+
+
+def test_streaming_equals_one_shot():
+    hasher = Sha256()
+    hasher.update(b"hello ")
+    hasher.update(b"world")
+    assert hasher.digest() == sha256_digest(b"hello world")
+
+
+def test_digest_is_idempotent():
+    hasher = Sha256(b"payload")
+    assert hasher.digest() == hasher.digest()
+
+
+def test_update_after_digest_still_works():
+    hasher = Sha256(b"part one")
+    first = hasher.digest()
+    hasher.update(b" and part two")
+    assert hasher.digest() != first
+    assert hasher.digest() == sha256_digest(b"part one and part two")
+
+
+def test_copy_is_independent():
+    hasher = Sha256(b"shared prefix")
+    clone = hasher.copy()
+    clone.update(b" divergence")
+    assert hasher.digest() == sha256_digest(b"shared prefix")
+    assert clone.digest() == sha256_digest(b"shared prefix divergence")
+
+
+def test_compression_counter_tracks_blocks():
+    hasher = Sha256(b"x" * 256)
+    assert hasher.compressions == 4
+
+
+def test_rejects_non_bytes_input():
+    with pytest.raises(TypeError):
+        Sha256().update("not bytes")
+
+
+def test_block_and_digest_sizes():
+    assert Sha256.block_size == 64
+    assert Sha256.digest_size == 32
+    assert len(sha256_digest(b"anything")) == 32
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.binary(min_size=0, max_size=3000))
+def test_matches_hashlib(data):
+    assert sha256_digest(data) == hashlib.sha256(data).digest()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.binary(min_size=0, max_size=200), max_size=10))
+def test_chunked_update_matches_hashlib(chunks):
+    hasher = Sha256()
+    reference = hashlib.sha256()
+    for chunk in chunks:
+        hasher.update(chunk)
+        reference.update(chunk)
+    assert hasher.digest() == reference.digest()

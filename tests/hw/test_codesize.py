@@ -1,0 +1,70 @@
+"""Tests for the Table 1 code-size model."""
+
+import pytest
+
+from repro.hw.codesize import CodeSizeModel
+
+
+@pytest.fixture
+def model() -> CodeSizeModel:
+    return CodeSizeModel()
+
+
+PAPER_CELLS = [
+    ("smart+", "on-demand", "hmac-sha1", 4.9),
+    ("smart+", "erasmus", "hmac-sha1", 4.7),
+    ("smart+", "on-demand", "hmac-sha256", 5.1),
+    ("smart+", "erasmus", "hmac-sha256", 4.9),
+    ("smart+", "on-demand", "keyed-blake2s", 28.9),
+    ("smart+", "erasmus", "keyed-blake2s", 28.7),
+    ("hydra", "on-demand", "hmac-sha256", 231.96),
+    ("hydra", "erasmus", "hmac-sha256", 233.84),
+    ("hydra", "on-demand", "keyed-blake2s", 239.29),
+    ("hydra", "erasmus", "keyed-blake2s", 241.17),
+]
+
+
+@pytest.mark.parametrize("architecture,variant,mac,expected", PAPER_CELLS)
+def test_table1_cells_match_paper(model, architecture, variant, mac, expected):
+    assert model.rom_size_kb(architecture, variant, mac) == pytest.approx(
+        expected, abs=0.01)
+
+
+def test_erasmus_smaller_on_smartplus(model):
+    for mac in ("hmac-sha1", "hmac-sha256", "keyed-blake2s"):
+        assert model.rom_size_kb("smart+", "erasmus", mac) < \
+            model.rom_size_kb("smart+", "on-demand", mac)
+
+
+def test_erasmus_about_one_percent_larger_on_hydra(model):
+    for mac in ("hmac-sha256", "keyed-blake2s"):
+        on_demand = model.rom_size_kb("hydra", "on-demand", mac)
+        erasmus = model.rom_size_kb("hydra", "erasmus", mac)
+        assert erasmus > on_demand
+        assert (erasmus - on_demand) / on_demand < 0.02
+
+
+def test_hydra_sha1_not_built(model):
+    assert not model.supported("hydra", "hmac-sha1")
+    with pytest.raises(ValueError):
+        model.report("hydra", "erasmus", "hmac-sha1")
+
+
+def test_unknown_architecture_and_variant_rejected(model):
+    with pytest.raises(ValueError):
+        model.report("trustzone", "erasmus", "hmac-sha256")
+    with pytest.raises(ValueError):
+        model.report("smart+", "hybrid", "hmac-sha256")
+
+
+def test_report_components_sum_to_total(model):
+    report = model.report("hydra", "erasmus", "keyed-blake2s")
+    assert sum(report.components.values()) == pytest.approx(report.total_kb,
+                                                            abs=0.01)
+    assert report.total_bytes == int(round(report.total_kb * 1024))
+
+
+def test_table1_has_none_for_unsupported_cells(model):
+    table = model.table1()
+    assert table["hmac-sha1"]["hydra/erasmus"] is None
+    assert table["hmac-sha256"]["hydra/erasmus"] == pytest.approx(233.84)

@@ -1,0 +1,97 @@
+"""Tests for the device cost models (calibration and shape)."""
+
+import pytest
+
+from repro.hw.devices import ApplicationCPUModel, MCUModel, RuntimeBreakdown
+
+
+class TestMCUModel:
+    def test_calibrated_endpoints_match_paper(self):
+        mcu = MCUModel()
+        sha256_runtime = mcu.measurement_runtime(10 * 1024, "hmac-sha256")
+        blake2s_runtime = mcu.measurement_runtime(10 * 1024, "keyed-blake2s")
+        assert sha256_runtime == pytest.approx(7.0, rel=0.05)
+        assert blake2s_runtime == pytest.approx(5.0, rel=0.05)
+
+    def test_runtime_linear_in_memory(self):
+        mcu = MCUModel()
+        small = mcu.measurement_runtime(2 * 1024, "keyed-blake2s")
+        large = mcu.measurement_runtime(8 * 1024, "keyed-blake2s")
+        assert large / small == pytest.approx(4.0, rel=0.1)
+
+    def test_erasmus_cheaper_than_on_demand_by_request_auth(self):
+        mcu = MCUModel()
+        erasmus = mcu.attestation_runtime(4096, "hmac-sha256",
+                                          on_demand=False)
+        on_demand = mcu.attestation_runtime(4096, "hmac-sha256",
+                                            on_demand=True)
+        assert on_demand > erasmus
+        assert on_demand - erasmus == pytest.approx(
+            mcu.request_auth_runtime("hmac-sha256"), rel=1e-9)
+
+    def test_runtime_breakdown_totals(self):
+        breakdown = MCUModel().runtime_breakdown(1024, "keyed-blake2s",
+                                                 on_demand=True)
+        assert isinstance(breakdown, RuntimeBreakdown)
+        assert breakdown.total == pytest.approx(
+            breakdown.request_auth + breakdown.measurement +
+            breakdown.fixed_overhead)
+        assert breakdown.request_auth > 0
+
+    def test_unknown_mac_rejected(self):
+        with pytest.raises(ValueError):
+            MCUModel().measurement_runtime(1024, "hmac-sha512")
+        with pytest.raises(ValueError, match="no calibration"):
+            MCUModel(cycles_per_block={"hmac-sha256": 1000.0}) \
+                .measurement_runtime(1024, "keyed-blake2s")
+
+    def test_negative_memory_rejected(self):
+        with pytest.raises(ValueError):
+            MCUModel().measurement_cycles(-1, "hmac-sha256")
+
+    def test_generic_collection_runtime_is_small_but_positive(self):
+        breakdown = MCUModel().collection_runtime(10 * 1024, "keyed-blake2s",
+                                                  on_demand=False)
+        assert 0 < breakdown["total"] < 0.01
+        assert breakdown["compute_measurement"] == 0.0
+
+
+class TestApplicationCPUModel:
+    def test_calibrated_endpoint_matches_table2(self):
+        model = ApplicationCPUModel()
+        runtime = model.measurement_runtime(10 * 1024 * 1024, "keyed-blake2s")
+        assert runtime == pytest.approx(0.2856, rel=0.02)
+
+    def test_collection_runtime_erasmus_matches_table2(self):
+        model = ApplicationCPUModel()
+        breakdown = model.collection_runtime(10 * 1024 * 1024,
+                                             "keyed-blake2s", on_demand=False)
+        assert breakdown["verify_request"] == 0.0
+        assert breakdown["compute_measurement"] == 0.0
+        assert breakdown["construct_packet"] == pytest.approx(3e-6)
+        assert breakdown["send_packet"] == pytest.approx(12e-6)
+        assert breakdown["total"] == pytest.approx(15e-6)
+
+    def test_collection_runtime_erasmus_od_dominated_by_measurement(self):
+        model = ApplicationCPUModel()
+        breakdown = model.collection_runtime(10 * 1024 * 1024,
+                                             "keyed-blake2s", on_demand=True)
+        assert breakdown["compute_measurement"] == pytest.approx(0.2856,
+                                                                 rel=0.02)
+        assert breakdown["total"] == pytest.approx(
+            breakdown["compute_measurement"], rel=0.01)
+
+    def test_collection_vs_measurement_factor_exceeds_3000(self):
+        model = ApplicationCPUModel()
+        measurement = model.measurement_runtime(10 * 1024 * 1024,
+                                                "keyed-blake2s")
+        collection = model.collection_runtime(
+            10 * 1024 * 1024, "keyed-blake2s", on_demand=False)["total"]
+        assert measurement / collection >= 3000
+
+    def test_supported_macs_listed(self):
+        assert "keyed-blake2s" in ApplicationCPUModel().supported_macs()
+
+    def test_invalid_clock_rejected(self):
+        with pytest.raises(ValueError):
+            ApplicationCPUModel(clock_hz=0.0)

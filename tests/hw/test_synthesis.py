@@ -1,0 +1,60 @@
+"""Tests for the Section 4.1 synthesis (register/LUT) cost model."""
+
+import pytest
+
+from repro.hw.synthesis import SynthesisModel
+
+
+@pytest.fixture
+def model() -> SynthesisModel:
+    return SynthesisModel()
+
+
+def test_unmodified_core_matches_paper(model):
+    report = model.synthesize("unmodified")
+    assert report.registers == 579
+    assert report.luts == 1731
+    assert report.register_overhead == 0.0
+    assert report.lut_overhead == 0.0
+
+
+def test_erasmus_totals_match_paper(model):
+    report = model.synthesize("erasmus")
+    assert report.registers == 655
+    assert report.luts == 1969
+
+
+def test_overheads_match_paper_percentages(model):
+    report = model.synthesize("erasmus")
+    assert report.register_overhead == pytest.approx(0.13, abs=0.01)
+    assert report.lut_overhead == pytest.approx(0.14, abs=0.01)
+
+
+def test_erasmus_equals_on_demand(model):
+    erasmus = model.synthesize("erasmus")
+    on_demand = model.synthesize("on-demand")
+    assert erasmus.registers == on_demand.registers
+    assert erasmus.luts == on_demand.luts
+
+
+def test_feature_costs_sum_to_delta(model):
+    total_registers = 0
+    total_luts = 0
+    for feature in model.features("erasmus"):
+        registers, luts = model.feature_cost(feature)
+        total_registers += registers
+        total_luts += luts
+    assert total_registers == 655 - 579
+    assert total_luts == 1969 - 1731
+
+
+def test_unknown_variant_and_feature_rejected(model):
+    with pytest.raises(ValueError):
+        model.synthesize("tpm")
+    with pytest.raises(ValueError):
+        model.feature_cost("quantum_rng")
+
+
+def test_comparison_covers_all_variants(model):
+    comparison = model.comparison()
+    assert set(comparison) == {"unmodified", "on-demand", "erasmus"}

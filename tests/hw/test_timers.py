@@ -1,0 +1,77 @@
+"""Tests for the periodic timer peripheral."""
+
+import pytest
+
+from repro.hw.timers import PeriodicTimer, TimerReadProtected
+from repro.sim import SimulationEngine
+
+
+def test_timer_fires_and_reports_count():
+    engine = SimulationEngine()
+    fired = []
+    timer = PeriodicTimer(engine, lambda expiration: fired.append(expiration))
+    timer.arm(5.0)
+    engine.run(until=10.0)
+    assert len(fired) == 1
+    assert fired[0].time == pytest.approx(5.0)
+    assert fired[0].count == 1
+
+
+def test_timer_can_be_rearmed_from_callback():
+    engine = SimulationEngine()
+    times = []
+
+    def on_fire(expiration):
+        times.append(expiration.time)
+        if expiration.count < 3:
+            timer.arm(2.0)
+
+    timer = PeriodicTimer(engine, on_fire)
+    timer.arm(2.0)
+    engine.run(until=20.0)
+    assert times == [pytest.approx(2.0), pytest.approx(4.0), pytest.approx(6.0)]
+
+
+def test_cancel_prevents_firing():
+    engine = SimulationEngine()
+    fired = []
+    timer = PeriodicTimer(engine, lambda expiration: fired.append(expiration))
+    timer.arm(3.0)
+    timer.cancel()
+    engine.run(until=10.0)
+    assert not fired
+    assert not timer.is_armed()
+
+
+def test_rearm_replaces_pending_deadline():
+    engine = SimulationEngine()
+    fired = []
+    timer = PeriodicTimer(engine, lambda expiration: fired.append(
+        expiration.time))
+    timer.arm(3.0)
+    timer.arm(7.0)
+    engine.run(until=10.0)
+    assert fired == [pytest.approx(7.0)]
+
+
+def test_negative_delay_rejected():
+    timer = PeriodicTimer(SimulationEngine(), lambda expiration: None)
+    with pytest.raises(ValueError):
+        timer.arm(-1.0)
+
+
+def test_secret_deadline_is_read_protected():
+    engine = SimulationEngine()
+    timer = PeriodicTimer(engine, lambda expiration: None,
+                          deadline_secret=True, name="measurement-timer")
+    timer.arm(30.0)
+    with pytest.raises(TimerReadProtected):
+        timer.read_deadline(trusted=False)
+    assert timer.read_deadline(trusted=True) == pytest.approx(30.0)
+
+
+def test_public_deadline_is_readable():
+    engine = SimulationEngine()
+    timer = PeriodicTimer(engine, lambda expiration: None)
+    timer.arm(4.0)
+    assert timer.read_deadline() == pytest.approx(4.0)

@@ -1,0 +1,44 @@
+"""Tests for the secure-boot model."""
+
+import pytest
+
+from repro.hydra.secure_boot import SecureBoot, SecureBootError
+
+
+IMAGES = {"kernel": b"sel4-kernel-image", "pratt": b"pratt-binary"}
+
+
+def test_boot_succeeds_with_provisioned_images():
+    boot = SecureBoot.provision(IMAGES)
+    boot.boot(dict(IMAGES))
+    assert boot.booted
+
+
+def test_boot_fails_on_modified_image():
+    boot = SecureBoot.provision(IMAGES)
+    tampered = dict(IMAGES)
+    tampered["pratt"] = b"pratt-binary-with-backdoor"
+    with pytest.raises(SecureBootError, match="pratt"):
+        boot.boot(tampered)
+    assert not boot.booted
+
+
+def test_boot_fails_on_missing_image():
+    boot = SecureBoot.provision(IMAGES)
+    with pytest.raises(SecureBootError, match="missing"):
+        boot.boot({"kernel": IMAGES["kernel"]})
+
+
+def test_verify_image_individually():
+    boot = SecureBoot.provision(IMAGES)
+    assert boot.verify_image("kernel", IMAGES["kernel"])
+    assert not boot.verify_image("kernel", b"other")
+    assert not boot.verify_image("unknown", b"whatever")
+
+
+def test_extra_unprovisioned_images_are_ignored():
+    boot = SecureBoot.provision(IMAGES)
+    images = dict(IMAGES)
+    images["extra"] = b"not checked"
+    boot.boot(images)
+    assert boot.booted

@@ -1,0 +1,78 @@
+"""Tests for the random-waypoint mobility model."""
+
+import pytest
+
+from repro.net.mobility import RandomWaypointMobility
+
+
+NAMES = [f"dev{i}" for i in range(12)]
+
+
+def test_static_swarm_topology_is_stable():
+    mobility = RandomWaypointMobility(NAMES, area_size=50.0, radio_range=30.0,
+                                      speed=0.0, seed=1)
+    first = {(l.node_a, l.node_b) for l in mobility.links_at(0.0)}
+    later = {(l.node_a, l.node_b) for l in mobility.links_at(100.0)}
+    assert first == later
+    assert first  # dense deployment: some links must exist
+
+
+def test_mobile_swarm_topology_changes():
+    mobility = RandomWaypointMobility(NAMES, area_size=100.0, radio_range=25.0,
+                                      speed=5.0, seed=2)
+    first = {(l.node_a, l.node_b) for l in mobility.links_at(0.0)}
+    later = {(l.node_a, l.node_b) for l in mobility.links_at(60.0)}
+    assert first != later
+
+
+def test_positions_stay_in_area():
+    mobility = RandomWaypointMobility(NAMES, area_size=40.0, radio_range=10.0,
+                                      speed=3.0, seed=3)
+    for time in (0.0, 10.0, 50.0, 200.0):
+        mobility.links_at(time)
+        for name in NAMES:
+            x, y = mobility.position_of(name)
+            assert 0.0 <= x <= 40.0
+            assert 0.0 <= y <= 40.0
+
+
+def test_links_are_symmetric_unit_disc():
+    mobility = RandomWaypointMobility(NAMES, area_size=60.0, radio_range=20.0,
+                                      speed=0.0, seed=4)
+    links = mobility.links_at(0.0)
+    for link in links:
+        ax, ay = mobility.position_of(link.node_a)
+        bx, by = mobility.position_of(link.node_b)
+        assert ((ax - bx) ** 2 + (ay - by) ** 2) ** 0.5 <= 20.0 + 1e-9
+
+
+def test_time_cannot_move_backwards():
+    mobility = RandomWaypointMobility(NAMES, speed=1.0, seed=5)
+    mobility.links_at(10.0)
+    with pytest.raises(ValueError):
+        mobility.links_at(5.0)
+
+
+def test_churn_rate_grows_with_speed():
+    slow = RandomWaypointMobility(NAMES, area_size=100.0, radio_range=30.0,
+                                  speed=0.5, seed=6)
+    fast = RandomWaypointMobility(NAMES, area_size=100.0, radio_range=30.0,
+                                  speed=8.0, seed=6)
+    assert fast.churn_rate(horizon=30.0, step=1.0) > \
+        slow.churn_rate(horizon=30.0, step=1.0)
+
+
+def test_zero_speed_churn_is_zero():
+    mobility = RandomWaypointMobility(NAMES, speed=0.0, seed=7)
+    assert mobility.churn_rate(horizon=10.0, step=1.0) == 0.0
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        RandomWaypointMobility([], speed=1.0)
+    with pytest.raises(ValueError):
+        RandomWaypointMobility(NAMES, area_size=0.0)
+    with pytest.raises(ValueError):
+        RandomWaypointMobility(NAMES, speed=-1.0)
+    with pytest.raises(ValueError):
+        RandomWaypointMobility(NAMES).churn_rate(horizon=0.0)

@@ -1,0 +1,122 @@
+"""Tests for packets, links and the simulated network."""
+
+import pytest
+
+from repro.net import Link, Network, NetworkNode, Packet
+from repro.net.packet import HEADER_OVERHEAD_BYTES
+from repro.sim import SimulationEngine
+
+
+def test_packet_size_includes_headers():
+    packet = Packet(source="a", destination="b", payload=b"\x00" * 100)
+    assert packet.size_bytes == 100 + HEADER_OVERHEAD_BYTES
+    forwarded = packet.forwarded("c")
+    assert forwarded.hop_count == 1
+    assert forwarded.payload == packet.payload
+
+
+def test_link_transfer_delay():
+    link = Link("a", "b", latency=0.01, bandwidth_bps=8_000.0)
+    packet = Packet(source="a", destination="b", payload=b"\x00" * 58)
+    # 100 bytes on the wire at 8 kbit/s = 0.1 s serialization + 10 ms latency.
+    assert link.transfer_delay(packet) == pytest.approx(0.11)
+    assert link.connects("b", "a")
+    assert not link.connects("a", "c")
+
+
+def test_link_parameter_validation():
+    with pytest.raises(ValueError):
+        Link("a", "b", latency=-1.0)
+    with pytest.raises(ValueError):
+        Link("a", "b", bandwidth_bps=0.0)
+    with pytest.raises(ValueError):
+        Link("a", "b", loss_probability=1.5)
+
+
+def build_network(node_names, links, seed=0):
+    engine = SimulationEngine()
+    network = Network(engine, seed=seed)
+    received = []
+    for name in node_names:
+        network.add_node(NetworkNode(
+            name, on_receive=lambda node, packet, time:
+            received.append((node.name, packet.payload, time))))
+    for link in links:
+        network.add_link(link)
+    return engine, network, received
+
+
+def test_single_hop_delivery():
+    engine, network, received = build_network(
+        ["verifier", "prover"], [Link("verifier", "prover", latency=0.005)])
+    network.node("verifier").send("prover", b"collect 4", kind="collect")
+    engine.run()
+    assert len(received) == 1
+    assert received[0][0] == "prover"
+    assert received[0][1] == b"collect 4"
+    assert network.delivered_packets == 1
+
+
+def test_multi_hop_delivery_accumulates_delay():
+    engine, network, received = build_network(
+        ["a", "b", "c"],
+        [Link("a", "b", latency=0.01), Link("b", "c", latency=0.01)])
+    network.node("a").send("c", b"payload")
+    engine.run()
+    assert received[0][0] == "c"
+    assert received[0][2] > 0.02
+
+
+def test_unroutable_packet_is_counted():
+    engine, network, received = build_network(["a", "b"], [])
+    assert network.node("a").send("b", b"data") is None
+    engine.run()
+    assert not received
+    assert network.unroutable_packets == 1
+
+
+def test_lossy_link_drops_packets():
+    engine, network, received = build_network(
+        ["a", "b"], [Link("a", "b", loss_probability=1.0)])
+    network.node("a").send("b", b"will be lost")
+    engine.run()
+    assert not received
+    assert network.dropped_packets == 1
+
+
+def test_link_removed_mid_flight_loses_packet():
+    engine, network, received = build_network(
+        ["a", "b", "c"],
+        [Link("a", "b", latency=0.01), Link("b", "c", latency=0.01)])
+    network.node("a").send("c", b"doomed")
+    # Remove the second hop before the packet reaches it.
+    network.remove_link("b", "c")
+    engine.run()
+    assert not received
+    assert network.dropped_packets == 1
+
+
+def test_set_links_rewires_topology():
+    engine, network, _received = build_network(
+        ["a", "b", "c"], [Link("a", "b")])
+    assert network.is_connected("a", "b")
+    assert not network.is_connected("a", "c")
+    network.set_links([Link("a", "c"), Link("c", "b")])
+    assert network.is_connected("a", "b")
+    assert network.neighbors("a") == ["c"]
+    del engine
+
+
+def test_node_statistics_and_duplicates():
+    engine, network, _received = build_network(
+        ["a", "b"], [Link("a", "b")])
+    network.node("a").send("b", b"x" * 10)
+    engine.run()
+    assert network.node("a").sent_packets == 1
+    assert network.node("b").received_packets == 1
+    with pytest.raises(ValueError):
+        network.add_node(NetworkNode("a"))
+    with pytest.raises(KeyError):
+        network.add_link(Link("a", "ghost"))
+    with pytest.raises(KeyError):
+        network.node("ghost")
