@@ -54,6 +54,10 @@ class ScheduleAwareMalware:
         self.dwell = dwell
         self._random = random.Random(seed)
 
+    def _evades(self, entry_time: float, next_measurement: float) -> bool:
+        """The evasion predicate: the visit ends before the next fire."""
+        return next_measurement >= entry_time + self.dwell
+
     def evades_once(self, scheduler: MeasurementScheduler,
                     entry_time: float) -> bool:
         """Does one visit starting at ``entry_time`` avoid all measurements?
@@ -62,19 +66,33 @@ class ScheduleAwareMalware:
         measurement completed, which is the adversary's optimal entry
         point under any schedule.
         """
-        next_measurement = scheduler.next_time(entry_time)
-        return next_measurement >= entry_time + self.dwell
+        return self._evades(entry_time, scheduler.next_time(entry_time))
 
     def simulate(self, scheduler: MeasurementScheduler,
                  trials: int = 1000) -> EvasionResult:
-        """Estimate the evasion probability over many independent visits."""
+        """Estimate the evasion probability over many independent visits.
+
+        Schedulers that expose a batched ``intervals(n)`` draw (the
+        irregular CSPRNG scheduler) are sampled in one batch.  The
+        batched draw is stream-identical to repeated ``next_interval``
+        calls and ``next_time`` is ``entry + interval`` for such
+        schedulers, so the result matches the trial-by-trial path bit
+        for bit; a scheduler whose ``next_time`` deviates from that
+        identity must not expose ``intervals``.
+        """
         if trials <= 0:
             raise ValueError("at least one trial is required")
-        evasions = 0
-        for _ in range(trials):
-            entry_time = self._random.uniform(0, 10_000.0)
-            if self.evades_once(scheduler, entry_time):
-                evasions += 1
+        entry_times = [self._random.uniform(0, 10_000.0)
+                       for _ in range(trials)]
+        draw_batch = getattr(scheduler, "intervals", None)
+        if callable(draw_batch):
+            evasions = sum(
+                1 for entry_time, interval in zip(entry_times,
+                                                  draw_batch(trials))
+                if self._evades(entry_time, entry_time + interval))
+        else:
+            evasions = sum(1 for entry_time in entry_times
+                           if self.evades_once(scheduler, entry_time))
         return EvasionResult(trials=trials, evasions=evasions)
 
     def best_case_dwell(self, scheduler: MeasurementScheduler) -> float:

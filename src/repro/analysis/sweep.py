@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 import itertools
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 
 @dataclass
@@ -34,12 +35,29 @@ class ParameterSweep:
         return [dict(zip(names, values))
                 for values in itertools.product(*value_lists)]
 
-    def run(self, function: Callable[..., Any]) -> List[SweepResult]:
-        """Evaluate ``function`` on every combination and store the results."""
+    def run(self, function: Callable[..., Any],
+            max_workers: Optional[int] = None) -> List[SweepResult]:
+        """Evaluate ``function`` on every combination and store the results.
+
+        With ``max_workers`` greater than one, combinations are
+        evaluated on a thread pool (results keep combination order).
+        Sweep functions dominated by stdlib crypto or simulation bursts
+        overlap well; pass ``None`` (the default) for strictly serial
+        evaluation.
+        """
+        combinations = self.combinations()
+        if max_workers is not None and max_workers > 1 and \
+                len(combinations) > 1:
+            with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                outcomes = list(pool.map(
+                    lambda combination: function(**combination),
+                    combinations))
+        else:
+            outcomes = [function(**combination)
+                        for combination in combinations]
         self.results = [
-            SweepResult(parameters=combination,
-                        outcome=function(**combination))
-            for combination in self.combinations()
+            SweepResult(parameters=combination, outcome=outcome)
+            for combination, outcome in zip(combinations, outcomes)
         ]
         return self.results
 

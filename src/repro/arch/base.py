@@ -7,33 +7,35 @@ import struct
 from dataclasses import dataclass
 from typing import Callable, Dict
 
-from repro.crypto.blake2s import blake2s_digest
+from repro.crypto.backend import BackendSpec, resolve_backend
 from repro.crypto.mac import get_mac
-from repro.crypto.sha1 import sha1_digest
-from repro.crypto.sha256 import sha256_digest
 from repro.hw.devices import DeviceCostModel
 from repro.hw.memory import AccessContext, DeviceMemory
 
-_HASH_FOR_MAC: Dict[str, Callable[[bytes], bytes]] = {
-    "hmac-sha1": sha1_digest,
-    "hmac-sha256": sha256_digest,
-    "keyed-blake2s": blake2s_digest,
+_HASH_FOR_MAC: Dict[str, str] = {
+    "hmac-sha1": "sha1",
+    "hmac-sha256": "sha256",
+    "keyed-blake2s": "blake2s",
 }
 
 
-def hash_for_mac(mac_name: str) -> Callable[[bytes], bytes]:
+def hash_for_mac(mac_name: str,
+                 backend: BackendSpec = None) -> Callable[[bytes], bytes]:
     """Return the hash function ``H`` paired with a MAC choice.
 
     The measurement is ``MAC_K(t, H(mem_t))``; the paper pairs HMAC-SHA1
     with SHA-1, HMAC-SHA256 with SHA-256 and keyed BLAKE2s with
-    (unkeyed) BLAKE2s.
+    (unkeyed) BLAKE2s.  The returned callable computes the digest on the
+    selected crypto backend (identical values on every backend).
     """
     try:
-        return _HASH_FOR_MAC[mac_name.lower()]
+        hash_name = _HASH_FOR_MAC[mac_name.lower()]
     except KeyError as exc:
         known = ", ".join(sorted(_HASH_FOR_MAC))
         raise ValueError(
             f"no hash paired with MAC {mac_name!r}; known: {known}") from exc
+    provider = resolve_backend(backend)
+    return lambda data: provider.hash_digest(hash_name, data)
 
 
 class ArchitectureError(Exception):
@@ -79,16 +81,28 @@ class SecurityArchitecture(abc.ABC):
     """
 
     def __init__(self, memory: DeviceMemory, cost_model: DeviceCostModel,
-                 mac_name: str, measured_regions: tuple[str, ...]) -> None:
+                 mac_name: str, measured_regions: tuple[str, ...],
+                 crypto_backend: BackendSpec = None) -> None:
         self.memory = memory
         self.cost_model = cost_model
         self.mac_name = mac_name.lower()
         self.mac_algorithm = get_mac(self.mac_name)
-        self.hash_function = hash_for_mac(self.mac_name)
+        self.use_crypto_backend(crypto_backend)
         self.measured_regions = tuple(measured_regions)
         self.measurements_performed = 0
         self.aborted_measurements = 0
         self._last_request_time: float | None = None
+
+    def use_crypto_backend(self, backend: BackendSpec) -> None:
+        """Select the crypto backend for measurements and request auth.
+
+        Deployments that model reference cycle costs pick ``reference``;
+        everything else uses the resolved default (normally the stdlib
+        ``accelerated`` provider).  Digests and tags are identical
+        either way.
+        """
+        self.crypto_backend = resolve_backend(backend)
+        self.hash_function = hash_for_mac(self.mac_name, self.crypto_backend)
 
     # ------------------------------------------------------------------
     # Clock and key access (architecture-specific)
@@ -141,7 +155,9 @@ class SecurityArchitecture(abc.ABC):
             memory_image = self.read_measured_memory()
             digest = self.hash_function(memory_image)
             key = self._read_key()
-            tag = self.mac_algorithm.mac(key, encode_timestamp(timestamp) + digest)
+            tag = self.mac_algorithm.mac(
+                key, encode_timestamp(timestamp) + digest,
+                backend=self.crypto_backend)
             duration = self.cost_model.measurement_runtime(
                 len(memory_image), self.mac_name)
             self.measurements_performed += 1
@@ -171,7 +187,8 @@ class SecurityArchitecture(abc.ABC):
         with self._protected_execution():
             key = self._read_key()
             valid = self.mac_algorithm.verify(
-                key, encode_timestamp(request_time) + payload, tag)
+                key, encode_timestamp(request_time) + payload, tag,
+                backend=self.crypto_backend)
         if valid:
             self._last_request_time = request_time
         return valid

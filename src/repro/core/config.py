@@ -44,6 +44,13 @@ class ErasmusConfig:
     request_freshness_window:
         Acceptance window (seconds) for authenticated verifier requests
         in ERASMUS+OD / on-demand attestation.
+    crypto_backend:
+        Crypto backend name for this deployment's prover, verifier and
+        scheduler (``"reference"`` or ``"accelerated"``), or ``None``
+        to follow the process-wide default (the
+        ``ERASMUS_CRYPTO_BACKEND`` environment variable, falling back
+        to ``accelerated``).  Both backends produce identical bytes;
+        ``reference`` additionally models compression-function work.
     """
 
     measurement_interval: float = 60.0
@@ -55,6 +62,7 @@ class ErasmusConfig:
     lenient_window_factor: float = 1.0
     mac_name: str = "keyed-blake2s"
     request_freshness_window: float = 60.0
+    crypto_backend: str | None = None
 
     def __post_init__(self) -> None:
         if self.measurement_interval <= 0:
@@ -65,6 +73,10 @@ class ErasmusConfig:
             raise ValueError("the buffer needs at least one slot")
         if self.lenient_window_factor < 1.0:
             raise ValueError("the lenient window factor w must be >= 1")
+        if self.crypto_backend is not None:
+            # Fail fast on typos; resolution itself happens at use time.
+            from repro.crypto.backend import get_backend
+            get_backend(self.crypto_backend)
         if self.schedule is ScheduleKind.IRREGULAR:
             if self.irregular_lower is None:
                 self.irregular_lower = self.measurement_interval / 2

@@ -24,6 +24,7 @@ import abc
 from typing import Optional
 
 from repro.core.config import ErasmusConfig, ScheduleKind
+from repro.crypto.backend import BackendSpec
 from repro.crypto.csprng import HmacDrbg
 
 
@@ -86,19 +87,29 @@ class IrregularScheduler(MeasurementScheduler):
     """
 
     def __init__(self, key: bytes, lower: float, upper: float,
-                 device_nonce: bytes = b"") -> None:
+                 device_nonce: bytes = b"",
+                 backend: BackendSpec = None) -> None:
         if not 0 < lower <= upper:
             raise ValueError("bounds must satisfy 0 < lower <= upper")
         super().__init__(measurement_interval=(lower + upper) / 2)
         self.lower = lower
         self.upper = upper
         self._drbg = HmacDrbg(bytes(key), personalization=b"erasmus-schedule" +
-                              bytes(device_nonce))
+                              bytes(device_nonce), backend=backend)
 
     def next_interval(self, current_time: float) -> float:
         """Draw the next interval from the CSPRNG, mapped into ``[L, U]``."""
         del current_time
         return self._drbg.uniform(self.lower, self.upper)
+
+    def intervals(self, count: int) -> list[float]:
+        """Draw ``count`` successive intervals in one batched call.
+
+        Stream-identical to ``count`` :meth:`next_interval` calls; the
+        verifier uses this to regenerate a whole expected schedule, and
+        the evasion sweeps use it to amortize DRBG overhead.
+        """
+        return self._drbg.uniform_batch(self.lower, self.upper, count)
 
 
 class LenientScheduler(MeasurementScheduler):
@@ -147,7 +158,8 @@ def build_scheduler(config: ErasmusConfig, key: bytes = b"",
         assert config.irregular_upper is not None
         return IrregularScheduler(key, config.irregular_lower,
                                   config.irregular_upper,
-                                  device_nonce=device_nonce)
+                                  device_nonce=device_nonce,
+                                  backend=config.crypto_backend)
     if config.schedule is ScheduleKind.LENIENT:
         return LenientScheduler(config.measurement_interval,
                                 config.lenient_window_factor)

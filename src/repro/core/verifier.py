@@ -33,6 +33,7 @@ from repro.core.protocol import (
     OnDemandRequest,
     OnDemandResponse,
 )
+from repro.crypto.backend import resolve_backend
 from repro.crypto.mac import get_mac
 
 
@@ -108,6 +109,7 @@ class ErasmusVerifier:
         self.schedule_tolerance = schedule_tolerance
         self.allowed_missing = allowed_missing
         self.mac_algorithm = get_mac(config.mac_name)
+        self.crypto_backend = resolve_backend(config.crypto_backend)
         self._keys: Dict[str, bytes] = {}
         self._healthy_digests: Dict[str, set[bytes]] = {}
         self._last_collection_time: Dict[str, float] = {}
@@ -154,7 +156,8 @@ class ErasmusVerifier:
         if request_time <= self._request_counter:
             request_time = self._request_counter + 1e-6
         self._request_counter = request_time
-        tag = self.mac_algorithm.mac(key, encode_timestamp(request_time))
+        tag = self.mac_algorithm.mac(key, encode_timestamp(request_time),
+                                     backend=self.crypto_backend)
         return OnDemandRequest(request_time=request_time, k=k, tag=tag)
 
     # ------------------------------------------------------------------
@@ -170,7 +173,8 @@ class ErasmusVerifier:
                  collection_time: float) -> MeasurementVerdict:
         key = self._key_for(device_id)
         authentic = self.mac_algorithm.verify(
-            key, measurement.authenticated_payload(), measurement.tag)
+            key, measurement.authenticated_payload(), measurement.tag,
+            backend=self.crypto_backend)
         healthy = measurement.digest in self._healthy_digests[device_id]
         from_future = measurement.timestamp > collection_time + 1e-6
         return MeasurementVerdict(measurement=measurement, authentic=authentic,

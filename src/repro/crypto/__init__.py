@@ -11,8 +11,25 @@ The implementations are bit-exact against the standard test vectors
 (see ``tests/crypto``) and additionally report *work counts* (number of
 compression-function invocations) so that the hardware cost models in
 :mod:`repro.hw` can convert cryptographic work into device cycles.
+
+Since the pluggable backend registry (:mod:`repro.crypto.backend`),
+the from-scratch code is the ``reference`` provider; an ``accelerated``
+provider backed by the stdlib computes identical values much faster
+and is the default for simulations and sweeps.
 """
 
+from repro.crypto.backend import (
+    AcceleratedBackend,
+    CryptoBackend,
+    ReferenceBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    resolve_backend,
+    set_default_backend,
+    use_backend,
+)
 from repro.crypto.blake2s import Blake2s, blake2s_digest, keyed_blake2s
 from repro.crypto.constant_time import constant_time_compare
 from repro.crypto.csprng import HmacDrbg
@@ -28,20 +45,30 @@ from repro.crypto.sha1 import Sha1, sha1_digest
 from repro.crypto.sha256 import Sha256, sha256_digest
 
 __all__ = [
+    "AcceleratedBackend",
     "Blake2s",
+    "CryptoBackend",
     "Hmac",
     "HmacDrbg",
     "MacAlgorithm",
     "MacDescriptor",
+    "ReferenceBackend",
     "Sha1",
     "Sha256",
+    "available_backends",
     "available_macs",
     "blake2s_digest",
     "constant_time_compare",
+    "default_backend_name",
+    "get_backend",
     "get_mac",
     "hmac_digest",
     "keyed_blake2s",
+    "register_backend",
     "register_mac",
+    "resolve_backend",
+    "set_default_backend",
     "sha1_digest",
     "sha256_digest",
+    "use_backend",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict
 
+from repro.crypto.backend import BackendSpec, resolve_backend
 from repro.crypto.blake2s import Blake2s
 from repro.crypto.hmac import Hmac
 
@@ -19,9 +20,12 @@ from repro.crypto.hmac import Hmac
 class MacAlgorithm:
     """A concrete MAC algorithm: ``mac(key, data) -> tag``.
 
-    Instances also report the number of compression-function
-    invocations a given message length requires, which the device cost
-    models translate into cycles.
+    Tag computation dispatches through the pluggable backend registry
+    when the selected backend knows the construction natively, and
+    falls back to the registered ``mac_fn`` (the reference
+    implementation) otherwise.  Instances also report the number of
+    compression-function invocations a given message length requires,
+    which the device cost models translate into cycles.
     """
 
     def __init__(self, name: str, block_size: int, digest_size: int,
@@ -34,14 +38,20 @@ class MacAlgorithm:
         self.extra_blocks = extra_blocks
         self.deprecated = deprecated
 
-    def mac(self, key: bytes, data: bytes) -> bytes:
+    def mac(self, key: bytes, data: bytes,
+            backend: BackendSpec = None) -> bytes:
         """Compute the MAC tag of ``data`` under ``key``."""
+        provider = resolve_backend(backend)
+        if provider.supports_mac(self.name):
+            return provider.mac(self.name, key, data)
         return self._mac_fn(key, data)
 
-    def verify(self, key: bytes, data: bytes, tag: bytes) -> bool:
+    def verify(self, key: bytes, data: bytes, tag: bytes,
+               backend: BackendSpec = None) -> bool:
         """Recompute and compare a tag in constant time."""
         from repro.crypto.constant_time import constant_time_compare
-        return constant_time_compare(self.mac(key, data), tag)
+        return constant_time_compare(self.mac(key, data, backend=backend),
+                                     tag)
 
     def compression_count(self, message_length: int) -> int:
         """Number of compression-function calls for a message of that size.

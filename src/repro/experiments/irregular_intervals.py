@@ -16,10 +16,12 @@ schedule decays smoothly from 100 % at ``dwell <= L`` to 0 % at
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.adversary.roving import ScheduleAwareMalware
+from repro.analysis.sweep import ParameterSweep
 from repro.core.scheduler import IrregularScheduler, RegularScheduler
+from repro.crypto.backend import BackendSpec
 
 DEFAULT_DWELL_FRACTIONS: Sequence[float] = (0.4, 0.6, 0.8, 0.95, 1.1, 1.4, 1.6)
 
@@ -28,28 +30,37 @@ def run(measurement_interval: float = 60.0,
         dwell_fractions: Sequence[float] = DEFAULT_DWELL_FRACTIONS,
         lower_fraction: float = 0.5, upper_fraction: float = 1.5,
         trials: int = 2000, key: bytes = b"\x42" * 16,
-        seed: int = 11) -> List[Dict[str, object]]:
-    """Sweep the adversary dwell time against both schedules."""
-    regular = RegularScheduler(measurement_interval)
-    irregular = IrregularScheduler(
-        key, lower=lower_fraction * measurement_interval,
-        upper=upper_fraction * measurement_interval)
-    rows: List[Dict[str, object]] = []
-    for fraction in dwell_fractions:
+        seed: int = 11, max_workers: Optional[int] = None,
+        backend: BackendSpec = None) -> List[Dict[str, object]]:
+    """Sweep the adversary dwell time against both schedules.
+
+    Each dwell fraction is evaluated independently (fresh schedulers
+    seeded from the same key), so the sweep can run on a thread pool
+    via ``max_workers`` without changing any row.  ``backend`` selects
+    the crypto provider for the schedule CSPRNG.
+    """
+    lower = lower_fraction * measurement_interval
+    upper = upper_fraction * measurement_interval
+
+    def evaluate(fraction: float) -> Dict[str, object]:
         dwell = fraction * measurement_interval
         malware = ScheduleAwareMalware(dwell=dwell, seed=seed)
-        regular_result = malware.simulate(regular, trials=trials)
-        irregular_result = malware.simulate(irregular, trials=trials)
-        expected_irregular = _analytic_evasion(
-            dwell, lower_fraction * measurement_interval,
-            upper_fraction * measurement_interval)
-        rows.append({
+        regular_result = malware.simulate(
+            RegularScheduler(measurement_interval), trials=trials)
+        irregular_result = malware.simulate(
+            IrregularScheduler(key, lower=lower, upper=upper,
+                               backend=backend), trials=trials)
+        return {
             "dwell_over_tm": fraction,
             "regular_evasion": regular_result.evasion_probability,
             "irregular_evasion": irregular_result.evasion_probability,
-            "analytic_irregular_evasion": expected_irregular,
-        })
-    return rows
+            "analytic_irregular_evasion": _analytic_evasion(
+                dwell, lower, upper),
+        }
+
+    sweep = ParameterSweep({"fraction": list(dwell_fractions)})
+    sweep.run(evaluate, max_workers=max_workers)
+    return list(sweep.outcomes())
 
 
 def _analytic_evasion(dwell: float, lower: float, upper: float) -> float:

@@ -18,9 +18,10 @@ malware dwell time.  The expected shape:
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.analysis.qoa_analysis import compare_erasmus_vs_ondemand
+from repro.analysis.sweep import ParameterSweep
 from repro.core.qoa import detection_probability
 
 DEFAULT_DWELL_FRACTIONS: Sequence[float] = (0.1, 0.25, 0.5, 1.0, 2.0, 4.0)
@@ -30,19 +31,21 @@ def run(measurement_interval: float = 60.0,
         collection_interval: float = 600.0,
         dwell_fractions: Sequence[float] = DEFAULT_DWELL_FRACTIONS,
         horizon: float = 7 * 24 * 3600.0,
-        seed: int = 7) -> List[Dict[str, object]]:
+        seed: int = 7,
+        max_workers: Optional[int] = None) -> List[Dict[str, object]]:
     """Sweep malware dwell time (as a fraction of ``T_M``).
 
     Returns one row per dwell value with simulated and analytic detection
-    rates for ERASMUS and the on-demand baseline.
+    rates for ERASMUS and the on-demand baseline.  Dwell values are
+    independent campaigns, so ``max_workers`` can fan the sweep out on a
+    thread pool without changing any row.
     """
-    rows: List[Dict[str, object]] = []
-    for fraction in dwell_fractions:
+    def evaluate(fraction: float) -> Dict[str, object]:
         dwell = fraction * measurement_interval
         comparison = compare_erasmus_vs_ondemand(
             measurement_interval, collection_interval, mean_dwell=dwell,
             horizon=horizon, seed=seed)
-        rows.append({
+        return {
             "dwell_over_tm": fraction,
             "mean_dwell_s": dwell,
             "erasmus_detection_rate": comparison.erasmus_detection_rate,
@@ -53,8 +56,11 @@ def run(measurement_interval: float = 60.0,
                                                        collection_interval),
             "erasmus_mean_latency_s": comparison.erasmus_mean_latency,
             "ondemand_mean_latency_s": comparison.on_demand_mean_latency,
-        })
-    return rows
+        }
+
+    sweep = ParameterSweep({"fraction": list(dwell_fractions)})
+    sweep.run(evaluate, max_workers=max_workers)
+    return list(sweep.outcomes())
 
 
 def detection_advantage(rows: List[Dict[str, object]]) -> float:

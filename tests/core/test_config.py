@@ -49,3 +49,11 @@ def test_invalid_parameters_rejected():
     with pytest.raises(ValueError):
         ErasmusConfig(schedule=ScheduleKind.IRREGULAR, irregular_lower=50.0,
                       irregular_upper=10.0)
+
+
+def test_crypto_backend_selection():
+    assert ErasmusConfig().crypto_backend is None
+    assert ErasmusConfig(crypto_backend="reference").crypto_backend == \
+        "reference"
+    with pytest.raises(ValueError):
+        ErasmusConfig(crypto_backend="not-a-backend")

@@ -61,6 +61,25 @@ class TestIrregularScheduler:
         scheduler = IrregularScheduler(b"key", 30.0, 90.0)
         assert scheduler.measurement_interval == pytest.approx(60.0)
 
+    def test_batched_intervals_match_sequential_draws(self):
+        batched = IrregularScheduler(b"key", 30.0, 90.0,
+                                     device_nonce=b"d1").intervals(40)
+        sequential_scheduler = IrregularScheduler(b"key", 30.0, 90.0,
+                                                  device_nonce=b"d1")
+        sequential = [sequential_scheduler.next_interval(0.0)
+                      for _ in range(40)]
+        assert batched == sequential
+        assert all(30.0 <= interval < 90.0 for interval in batched)
+
+    def test_backends_regenerate_identical_schedules(self):
+        reference = IrregularScheduler(b"key", 30.0, 90.0,
+                                       device_nonce=b"d1",
+                                       backend="reference")
+        accelerated = IrregularScheduler(b"key", 30.0, 90.0,
+                                         device_nonce=b"d1",
+                                         backend="accelerated")
+        assert reference.intervals(20) == accelerated.intervals(20)
+
     def test_invalid_bounds(self):
         with pytest.raises(ValueError):
             IrregularScheduler(b"key", 0.0, 90.0)

@@ -1,0 +1,222 @@
+"""Cross-backend equivalence: reference vs accelerated crypto providers.
+
+The pluggable backend registry promises that the two providers are
+bit-for-bit interchangeable.  This suite pins both to the standard
+FIPS 180 / RFC 2202 / RFC 4231 / RFC 7693 test vectors, fuzzes them
+against each other on randomized keys and messages for every
+registered MAC, and checks that HMAC-DRBG streams (single-call and
+batched) are identical no matter which provider computes them.
+"""
+
+import random
+
+import pytest
+
+from repro.crypto import backend as backend_mod
+from repro.crypto.backend import (
+    AcceleratedBackend,
+    ReferenceBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+    use_backend,
+)
+from repro.crypto.csprng import HmacDrbg
+from repro.crypto.hmac import hmac_digest
+from repro.crypto.mac import available_macs, get_mac
+
+REFERENCE = get_backend("reference")
+ACCELERATED = get_backend("accelerated")
+BACKENDS = (REFERENCE, ACCELERATED)
+
+# (hash_name, message, expected digest) — FIPS 180-2 / RFC 7693.
+HASH_VECTORS = [
+    ("sha1", b"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"),
+    ("sha256", b"abc",
+     "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    ("blake2s", b"abc",
+     "508c5e8c327c14e2e1a72ba34eeb452f37458b209ed63a294d999b4c86675982"),
+]
+
+# (mac_name, key, message, expected tag) — RFC 2202 / RFC 4231 case 1
+# and the RFC 7693 appendix E keyed BLAKE2s vector.
+MAC_VECTORS = [
+    ("hmac-sha1", b"\x0b" * 20, b"Hi There",
+     "b617318655057264e28bc0b6fb378c8ef146be00"),
+    ("hmac-sha256", b"\x0b" * 20, b"Hi There",
+     "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"),
+    ("keyed-blake2s", bytes(range(32)), b"",
+     "48a8997da407876b3d79c0d92325ad3b89cbb754d86ab71aee047ad345fd2c49"),
+]
+
+
+# ----------------------------------------------------------------------
+# Known-answer vectors, both providers
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("hash_name,message,expected", HASH_VECTORS)
+@pytest.mark.parametrize("provider", BACKENDS, ids=lambda b: b.name)
+def test_hash_vectors(provider, hash_name, message, expected):
+    assert provider.hash_digest(hash_name, message).hex() == expected
+
+
+@pytest.mark.parametrize("mac_name,key,message,expected", MAC_VECTORS)
+@pytest.mark.parametrize("provider", BACKENDS, ids=lambda b: b.name)
+def test_mac_vectors(provider, mac_name, key, message, expected):
+    assert provider.mac(mac_name, key, message).hex() == expected
+
+
+@pytest.mark.parametrize("provider", BACKENDS, ids=lambda b: b.name)
+def test_hmac_digest_helper_matches_backend(provider):
+    tag = hmac_digest(b"\x0b" * 20, b"Hi There", hash_name="sha1",
+                      backend=provider)
+    assert tag.hex() == "b617318655057264e28bc0b6fb378c8ef146be00"
+
+
+# ----------------------------------------------------------------------
+# Randomized fuzz: reference == accelerated for every registered MAC
+# ----------------------------------------------------------------------
+def _fuzz_cases(seed, count, max_key_len=96):
+    rng = random.Random(seed)
+    for _ in range(count):
+        key = rng.randbytes(rng.randint(1, max_key_len))
+        message = rng.randbytes(rng.randint(0, 512))
+        yield key, message
+
+
+@pytest.mark.parametrize("descriptor", available_macs(),
+                         ids=lambda d: d.name)
+def test_mac_fuzz_equivalence(descriptor):
+    algorithm = get_mac(descriptor.name)
+    # BLAKE2s keys are at most 32 bytes; HMAC keys may be any length.
+    max_key_len = 32 if "blake2s" in descriptor.name else 96
+    for key, message in _fuzz_cases(seed=descriptor.name, count=40,
+                                    max_key_len=max_key_len):
+        reference_tag = algorithm.mac(key, message, backend="reference")
+        accelerated_tag = algorithm.mac(key, message, backend="accelerated")
+        assert reference_tag == accelerated_tag
+        assert len(reference_tag) == descriptor.digest_size
+        assert algorithm.verify(key, message, accelerated_tag,
+                                backend="reference")
+
+
+@pytest.mark.parametrize("hash_name", ["sha1", "sha256", "blake2s"])
+def test_hash_fuzz_equivalence(hash_name):
+    for _, message in _fuzz_cases(seed=hash_name, count=40):
+        assert REFERENCE.hash_digest(hash_name, message) == \
+            ACCELERATED.hash_digest(hash_name, message)
+
+
+# ----------------------------------------------------------------------
+# HMAC-DRBG streams
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("hash_name", ["sha1", "sha256"])
+def test_drbg_streams_identical_across_backends(hash_name):
+    reference = HmacDrbg(b"equiv-seed", personalization=b"p",
+                         hash_name=hash_name, backend="reference")
+    accelerated = HmacDrbg(b"equiv-seed", personalization=b"p",
+                           hash_name=hash_name, backend="accelerated")
+    for length in (1, 16, 33, 64):
+        assert reference.generate(length) == accelerated.generate(length)
+    assert reference.uniform(10.0, 20.0) == accelerated.uniform(10.0, 20.0)
+    reference.reseed(b"extra")
+    accelerated.reseed(b"extra")
+    assert reference.generate_batch(8, 5) == accelerated.generate_batch(8, 5)
+    assert reference.uniform_batch(0.0, 1.0, 5) == \
+        accelerated.uniform_batch(0.0, 1.0, 5)
+
+
+def test_drbg_reports_backend_name():
+    assert HmacDrbg(b"s", backend="reference").backend_name == "reference"
+    assert HmacDrbg(b"s", backend=ACCELERATED).backend_name == "accelerated"
+
+
+@pytest.mark.parametrize("provider", BACKENDS, ids=lambda b: b.name)
+def test_hash_names_are_case_insensitive(provider):
+    assert HmacDrbg(b"s", hash_name="SHA256",
+                    backend=provider).generate(8) == \
+        HmacDrbg(b"s", hash_name="sha256", backend=provider).generate(8)
+    assert provider.hash_digest("SHA1", b"abc") == \
+        provider.hash_digest("sha1", b"abc")
+
+
+# ----------------------------------------------------------------------
+# Registry and selection semantics
+# ----------------------------------------------------------------------
+def test_both_providers_registered():
+    assert {"reference", "accelerated"} <= set(available_backends())
+
+
+def test_get_backend_accepts_instances_and_names():
+    assert get_backend(REFERENCE) is REFERENCE
+    assert get_backend("Accelerated") is ACCELERATED
+    assert isinstance(get_backend("reference"), ReferenceBackend)
+    assert isinstance(get_backend("accelerated"), AcceleratedBackend)
+
+
+def test_unknown_backend_rejected():
+    with pytest.raises(ValueError, match="unknown crypto backend"):
+        get_backend("openssl3")
+    with pytest.raises(ValueError, match="unknown crypto backend"):
+        set_default_backend("openssl3")
+
+
+def test_builtin_default_is_accelerated(monkeypatch):
+    monkeypatch.delenv(backend_mod.ENV_VAR, raising=False)
+    monkeypatch.setattr(backend_mod, "_default_override", None)
+    assert default_backend_name() == "accelerated"
+    assert get_backend() is ACCELERATED
+
+
+def test_env_var_selects_default(monkeypatch):
+    monkeypatch.setattr(backend_mod, "_default_override", None)
+    monkeypatch.setenv(backend_mod.ENV_VAR, "REFERENCE")
+    assert default_backend_name() == "reference"
+    assert get_backend() is REFERENCE
+
+
+def test_set_default_backend_overrides_env(monkeypatch):
+    monkeypatch.setenv(backend_mod.ENV_VAR, "accelerated")
+    set_default_backend("reference")
+    try:
+        assert get_backend() is REFERENCE
+    finally:
+        set_default_backend(None)
+    assert get_backend() is ACCELERATED
+
+
+def test_use_backend_scopes_the_override():
+    before = default_backend_name()
+    with use_backend("reference") as provider:
+        assert provider is REFERENCE
+        assert get_backend() is REFERENCE
+    assert default_backend_name() == before
+
+
+def test_unknown_primitives_rejected():
+    for provider in BACKENDS:
+        with pytest.raises(ValueError):
+            provider.hash_digest("md5-but-wrong", b"")
+        with pytest.raises(ValueError):
+            provider.digest_size("md5-but-wrong")
+        with pytest.raises(ValueError):
+            provider.mac("cmac-aes", b"k", b"m")
+        with pytest.raises(ValueError):
+            provider.hmac_function("blake2s")
+
+
+# ----------------------------------------------------------------------
+# End-to-end: a full measurement is identical under either backend
+# ----------------------------------------------------------------------
+def test_measurement_identical_across_backends(key, firmware):
+    from repro.smartplus import build_smartplus_architecture
+
+    outputs = {}
+    for name in ("reference", "accelerated"):
+        architecture = build_smartplus_architecture(
+            key, mac_name="keyed-blake2s", application_size=512)
+        architecture.load_application(firmware)
+        architecture.use_crypto_backend(name)
+        output = architecture.perform_measurement()
+        outputs[name] = (output.digest, output.tag)
+    assert outputs["reference"] == outputs["accelerated"]
