@@ -12,6 +12,7 @@ Run with:  python examples/mobile_swarm.py
 """
 
 from repro.experiments import swarm_mobility
+from repro.fleet import DeviceProfile, Fleet
 from repro.hw.devices import MCUModel
 from repro.swarm import StaggeredSchedule, build_swarm
 
@@ -47,9 +48,34 @@ def staggered_availability() -> None:
     print(f"  example phase offsets: {sample}")
 
 
+def relayed_fleet_collection() -> None:
+    """An end-to-end collection relayed hop by hop through a swarm tree."""
+    profile = DeviceProfile.smartplus(firmware=b"drone-firmware-v1",
+                                      application_size=512,
+                                      measurement_interval=60.0,
+                                      collection_interval=300.0,
+                                      buffer_slots=8)
+    fleet = Fleet.provision(profile, 30,
+                            master_secret=b"swarm-master-secret",
+                            transport="swarm-relay",
+                            transport_options={"fanout": 3,
+                                               "hop_latency": 0.01})
+    fleet.run_until(300.0)
+    reports = fleet.collect_all()
+    deepest = max(fleet.transport.depth_of(device_id)
+                  for device_id in fleet.device_ids())
+    healthy = sum(1 for report in reports if not report.detected_infection())
+    print("\nFleet collection over the swarm relay tree:")
+    print(f"  30 devices, deepest device {deepest} hops from the gateway")
+    print(f"  one batched round: {healthy}/30 healthy, "
+          f"round-trip finished at t={fleet.now:.2f}s "
+          f"(collection started at t=300s)")
+
+
 def main() -> None:
     attestation_under_mobility()
     staggered_availability()
+    relayed_fleet_collection()
 
 
 if __name__ == "__main__":

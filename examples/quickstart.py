@@ -2,9 +2,10 @@
 """Quickstart: one ERASMUS prover, one verifier, one mobile infection.
 
 This walks through the full ERASMUS life cycle on a SMART+ (low-end)
-device:
+device using the :mod:`repro.fleet` API:
 
-1. provision a device with a shared key and a healthy firmware image;
+1. describe the device class with a :class:`DeviceProfile` and provision
+   a device (key, imaged firmware, prover, healthy reference digest);
 2. let it self-measure on its schedule for a while;
 3. have the verifier collect and verify the measurement history;
 4. let mobile malware visit the device *between* collections and leave
@@ -13,10 +14,8 @@ device:
 Run with:  python examples/quickstart.py
 """
 
-from repro.arch.base import hash_for_mac
-from repro.core import ErasmusConfig, ErasmusProver, ErasmusVerifier
+from repro.fleet import DeviceProfile, FleetVerifier, InProcessTransport
 from repro.sim import SimulationEngine
-from repro.smartplus import build_smartplus_architecture
 
 KEY = bytes.fromhex("000102030405060708090a0b0c0d0e0f")
 FIRMWARE = b"pump-controller-firmware-v1.3" + bytes(256)
@@ -24,50 +23,48 @@ MALWARE = b"botnet-dropper" + bytes(280)
 
 
 def main() -> None:
-    # 1. Provision the device: 4 KB of measured memory, keyed BLAKE2s,
-    #    a measurement every 60 s, a collection every 10 minutes.
-    config = ErasmusConfig(measurement_interval=60.0,
-                           collection_interval=600.0,
-                           buffer_slots=16,
-                           mac_name="keyed-blake2s")
-    architecture = build_smartplus_architecture(
-        KEY, mac_name=config.mac_name, application_size=4096)
-    architecture.load_application(FIRMWARE)
+    # 1. Describe and provision the device: 4 KB of measured memory,
+    #    keyed BLAKE2s, a measurement every 60 s, a collection every
+    #    10 minutes.  One call replaces the old build-architecture /
+    #    load-image / hash-memory / construct-prover dance.
+    profile = DeviceProfile.smartplus(firmware=FIRMWARE,
+                                      application_size=4096,
+                                      measurement_interval=60.0,
+                                      collection_interval=600.0,
+                                      buffer_slots=16,
+                                      mac_name="keyed-blake2s")
+    device = profile.provision("pump-1", key=KEY)
 
-    healthy_digest = hash_for_mac(config.mac_name)(
-        architecture.read_measured_memory())
-
-    prover = ErasmusProver(architecture, config, device_id="pump-1")
-    verifier = ErasmusVerifier(config)
-    verifier.enroll("pump-1", KEY, [healthy_digest])
+    engine = SimulationEngine()
+    device.prover.attach(engine)
+    transport = InProcessTransport(engine)
+    transport.register(device)
+    verifier = FleetVerifier(profile.config)
+    verifier.enroll_device(device)
 
     # 2. Run the measurement schedule for the first collection interval.
-    engine = SimulationEngine()
-    prover.attach(engine)
     engine.run(until=600.0)
-    print(f"[t=600] prover has taken {prover.measurements_taken} measurements")
+    print(f"[t=600] prover has taken "
+          f"{device.prover.measurements_taken} measurements")
 
-    # 3. First collection: everything should be healthy.
-    response = prover.handle_collect(verifier.create_collect_request())
-    report = verifier.verify_collection("pump-1", response,
-                                        collection_time=engine.now)
+    # 3. First collection: everything should be healthy.  (freshness
+    #    renders as "n/a" when a collection carries no measurements.)
+    [report] = verifier.collect_all(transport, collection_time=engine.now)
     print(f"[t=600] collection #1: status={report.status.value}, "
           f"{report.measurement_count} records, "
-          f"freshness={report.freshness:.0f}s")
+          f"freshness={report.freshness_label}")
 
     # 4. Mobile malware arrives at t=700, acts for 3 minutes, then wipes
     #    itself and restores the original firmware at t=880.
     engine.run(until=700.0)
-    architecture.load_application(MALWARE)
+    device.load_application(MALWARE)
     engine.run(until=880.0)
-    architecture.load_application(FIRMWARE)
+    device.load_application(FIRMWARE)
     engine.run(until=1200.0)
 
     # 5. Second collection: the malware is long gone, but the history
     #    still contains measurements taken while it was present.
-    response = prover.handle_collect(verifier.create_collect_request())
-    report = verifier.verify_collection("pump-1", response,
-                                        collection_time=engine.now)
+    [report] = verifier.collect_all(transport, collection_time=engine.now)
     print(f"[t=1200] collection #2: status={report.status.value}")
     for timestamp in report.infected_timestamps:
         print(f"          infected state recorded at t={timestamp:.0f}s "
@@ -76,9 +73,10 @@ def main() -> None:
     # 6. The same scenario under classic on-demand RA would have seen a
     #    healthy device at both attestation points — that is the gap
     #    ERASMUS closes.
+    architecture = device.architecture
     print("\nPer-measurement cost on this device: "
-          f"{architecture.cost_model.measurement_runtime(4096, config.mac_name):.2f}s; "
-          f"collection cost: {prover.collection_runtime() * 1000:.3f}ms")
+          f"{architecture.cost_model.measurement_runtime(4096, profile.config.mac_name):.2f}s; "
+          f"collection cost: {device.prover.collection_runtime() * 1000:.3f}ms")
 
 
 if __name__ == "__main__":

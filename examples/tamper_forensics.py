@@ -13,37 +13,33 @@ Run with:  python examples/tamper_forensics.py
 """
 
 from repro.adversary import ClockRewindAttempt, TamperingMalware
-from repro.arch.base import hash_for_mac
-from repro.core import DeviceStatus, ErasmusConfig, ErasmusProver, \
-    ErasmusVerifier
+from repro.core import DeviceStatus, ErasmusProver
+from repro.fleet import DeviceProfile, FleetVerifier
 from repro.hw.clock import ReliableClock
-from repro.hydra import build_hydra_architecture
 from repro.sim import SimulationEngine
 
 KEY = b"\x77" * 32
 FIRMWARE = b"gateway-image-v5" + bytes(1024)
 
+PROFILE = DeviceProfile.hydra(firmware=FIRMWARE,
+                              application_size=64 * 1024,
+                              measurement_interval=30.0,
+                              collection_interval=300.0,
+                              buffer_slots=16,
+                              mac_name="hmac-sha256")
 
-def build_prover() -> tuple[ErasmusProver, ErasmusVerifier, SimulationEngine]:
-    config = ErasmusConfig(measurement_interval=30.0,
-                           collection_interval=300.0,
-                           buffer_slots=16,
-                           mac_name="hmac-sha256")
-    architecture = build_hydra_architecture(
-        KEY, mac_name=config.mac_name, application_size=64 * 1024)
-    architecture.load_application(FIRMWARE)
-    healthy = hash_for_mac(config.mac_name)(
-        architecture.read_measured_memory())
-    prover = ErasmusProver(architecture, config, device_id="gateway-3")
-    verifier = ErasmusVerifier(config)
-    verifier.enroll("gateway-3", KEY, [healthy])
+
+def build_prover() -> tuple[ErasmusProver, FleetVerifier, SimulationEngine]:
+    device = PROFILE.provision("gateway-3", key=KEY)
+    verifier = FleetVerifier(PROFILE.config)
+    verifier.enroll_device(device)
     engine = SimulationEngine()
-    prover.attach(engine)
+    device.prover.attach(engine)
     engine.run(until=300.0)
-    return prover, verifier, engine
+    return device.prover, verifier, engine
 
 
-def collect_and_report(prover: ErasmusProver, verifier: ErasmusVerifier,
+def collect_and_report(prover: ErasmusProver, verifier: FleetVerifier,
                        time: float, label: str) -> DeviceStatus:
     response = prover.handle_collect(verifier.create_collect_request())
     report = verifier.verify_collection("gateway-3", response,

@@ -15,17 +15,11 @@ Run with:  python examples/time_sensitive_device.py
 """
 
 from repro.adversary.roving import ScheduleAwareMalware
-from repro.arch.base import hash_for_mac
-from repro.core import (
-    ErasmusConfig,
-    ErasmusProver,
-    ErasmusVerifier,
-    ScheduleKind,
-)
+from repro.core import ErasmusConfig, ScheduleKind
 from repro.core.scheduler import IrregularScheduler, RegularScheduler
 from repro.experiments import availability
+from repro.fleet import DeviceProfile, FleetVerifier
 from repro.sim import SimulationEngine
-from repro.smartplus import build_smartplus_architecture
 
 KEY = b"\x13" * 16
 FIRMWARE = b"actuator-firmware-v2" + bytes(512)
@@ -72,24 +66,22 @@ def full_prover_demo() -> None:
                            buffer_slots=32,
                            schedule=ScheduleKind.IRREGULAR,
                            mac_name="keyed-blake2s")
-    architecture = build_smartplus_architecture(
-        KEY, mac_name=config.mac_name, application_size=2048)
-    architecture.load_application(FIRMWARE)
-    healthy = hash_for_mac(config.mac_name)(
-        architecture.read_measured_memory())
+    profile = DeviceProfile.smartplus(firmware=FIRMWARE,
+                                      application_size=2048,
+                                      config=config)
 
     # The actuator is busy for 5 s out of every 90 s; measurements that
     # would land in a busy window are aborted.
     def critical_task_active(time: float) -> bool:
         return (time % 90.0) < 5.0
 
-    prover = ErasmusProver(architecture, config, device_id="actuator-7",
-                           scheduling_key=KEY,
-                           critical_task_active=critical_task_active)
+    device = profile.provision("actuator-7", key=KEY,
+                               critical_task_active=critical_task_active)
+    prover = device.prover
     # Section 5: the verifier needs a policy for justified absences —
     # here it tolerates a few measurements aborted by the critical task.
-    verifier = ErasmusVerifier(config, allowed_missing=6)
-    verifier.enroll("actuator-7", KEY, [healthy])
+    verifier = FleetVerifier(config, allowed_missing=6)
+    verifier.enroll_device(device)
 
     engine = SimulationEngine()
     prover.attach(engine)

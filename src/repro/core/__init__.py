@@ -26,6 +26,9 @@ from repro.core.protocol import (
     CollectResponse,
     OnDemandRequest,
     OnDemandResponse,
+    ProtocolDecodeError,
+    decode_request,
+    decode_response,
 )
 from repro.core.prover import ErasmusProver
 from repro.core.qoa import QoA, expected_freshness, detection_probability
@@ -37,17 +40,22 @@ from repro.core.scheduler import (
     build_scheduler,
 )
 from repro.core.storage import MeasurementStore
-from repro.core.verifier import (
+from repro.core.verification import (
+    BaseVerifier,
     DeviceStatus,
-    ErasmusVerifier,
+    Enrollment,
     MeasurementVerdict,
+    VerificationCore,
     VerificationReport,
 )
+from repro.core.verifier import ErasmusVerifier
 
 __all__ = [
+    "BaseVerifier",
     "CollectRequest",
     "CollectResponse",
     "DeviceStatus",
+    "Enrollment",
     "ErasmusConfig",
     "ErasmusProver",
     "ErasmusVerifier",
@@ -62,11 +70,15 @@ __all__ = [
     "OnDemandRequest",
     "OnDemandResponse",
     "OnDemandVerifier",
+    "ProtocolDecodeError",
     "QoA",
     "RegularScheduler",
     "ScheduleKind",
+    "VerificationCore",
     "VerificationReport",
     "build_scheduler",
+    "decode_request",
+    "decode_response",
     "detection_probability",
     "expected_freshness",
 ]

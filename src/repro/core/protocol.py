@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Union
 
 from repro.arch.base import encode_timestamp
 from repro.core.measurement import Measurement, MeasurementDecodeError
@@ -35,9 +35,22 @@ _TYPE_COLLECT_RESPONSE = 2
 _TYPE_ONDEMAND_REQUEST = 3
 _TYPE_ONDEMAND_RESPONSE = 4
 
+#: Upper bound on ``k``: a response cannot carry more records than its
+#: 16-bit record counter can describe, so any larger request is either a
+#: bug or an attempted resource-exhaustion probe and is rejected at the
+#: message layer.
+MAX_K = 0xFFFF
+
 
 class ProtocolDecodeError(Exception):
     """A protocol message could not be decoded."""
+
+
+def _check_k(k: int) -> None:
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    if k > MAX_K:
+        raise ValueError(f"k must not exceed {MAX_K}")
 
 
 @dataclass(frozen=True)
@@ -48,8 +61,7 @@ class CollectRequest:
 
     def encode(self) -> bytes:
         """Serialize to the wire format."""
-        if self.k < 0:
-            raise ValueError("k must be non-negative")
+        _check_k(self.k)
         return _COLLECT_HEADER.pack(_TYPE_COLLECT_REQUEST, self.k)
 
     @classmethod
@@ -61,6 +73,8 @@ class CollectRequest:
             raise ProtocolDecodeError("malformed collect request") from exc
         if message_type != _TYPE_COLLECT_REQUEST:
             raise ProtocolDecodeError("not a collect request")
+        if k > MAX_K:
+            raise ProtocolDecodeError(f"oversized k ({k} > {MAX_K})")
         return cls(k=k)
 
 
@@ -80,6 +94,8 @@ def _decode_measurements(payload: bytes, count: int) -> List[Measurement]:
             raise ProtocolDecodeError("truncated measurement list")
         (length,) = _RECORD_LENGTH.unpack_from(payload, offset)
         offset += _RECORD_LENGTH.size
+        if offset + length > len(payload):
+            raise ProtocolDecodeError("truncated measurement record")
         record = payload[offset:offset + length]
         offset += length
         try:
@@ -135,6 +151,7 @@ class OnDemandRequest:
 
     def encode(self) -> bytes:
         """Serialize to the wire format."""
+        _check_k(self.k)
         header = _ONDEMAND_HEADER.pack(
             _TYPE_ONDEMAND_REQUEST, self.k,
             int(round(self.request_time * 1_000_000)), len(self.tag))
@@ -149,6 +166,8 @@ class OnDemandRequest:
             payload)
         if message_type != _TYPE_ONDEMAND_REQUEST:
             raise ProtocolDecodeError("not an on-demand request")
+        if k > MAX_K:
+            raise ProtocolDecodeError(f"oversized k ({k} > {MAX_K})")
         tag = payload[_ONDEMAND_HEADER.size:]
         if len(tag) != tag_length:
             raise ProtocolDecodeError("on-demand request tag length mismatch")
@@ -190,3 +209,44 @@ class OnDemandResponse:
                 raise ProtocolDecodeError("fresh measurement flagged but absent")
             return cls(fresh=records[0], measurements=records[1:])
         return cls(fresh=None, measurements=records)
+
+
+AnyRequest = Union[CollectRequest, OnDemandRequest]
+AnyResponse = Union[CollectResponse, OnDemandResponse]
+
+_REQUEST_DECODERS = {
+    _TYPE_COLLECT_REQUEST: CollectRequest.decode,
+    _TYPE_ONDEMAND_REQUEST: OnDemandRequest.decode,
+}
+_RESPONSE_DECODERS = {
+    _TYPE_COLLECT_RESPONSE: CollectResponse.decode,
+    _TYPE_ONDEMAND_RESPONSE: OnDemandResponse.decode,
+}
+
+
+def decode_request(payload: bytes) -> AnyRequest:
+    """Decode a verifier-to-prover message by its type tag.
+
+    Transports use this to dispatch incoming requests without knowing in
+    advance whether a collection is plain or on-demand.
+    """
+    if not payload:
+        raise ProtocolDecodeError("empty request")
+    try:
+        decoder = _REQUEST_DECODERS[payload[0]]
+    except KeyError as exc:
+        raise ProtocolDecodeError(
+            f"unknown request type {payload[0]}") from exc
+    return decoder(payload)
+
+
+def decode_response(payload: bytes) -> AnyResponse:
+    """Decode a prover-to-verifier message by its type tag."""
+    if not payload:
+        raise ProtocolDecodeError("empty response")
+    try:
+        decoder = _RESPONSE_DECODERS[payload[0]]
+    except KeyError as exc:
+        raise ProtocolDecodeError(
+            f"unknown response type {payload[0]}") from exc
+    return decoder(payload)

@@ -1,0 +1,454 @@
+"""Stateless measurement-history verification.
+
+This module is the policy-and-crypto half of the verifier role, split
+out so the same checks can back any enrollment store:
+
+* :class:`ErasmusVerifier` (:mod:`repro.core.verifier`) keeps the
+  original one-object API for single-device walkthroughs;
+* :class:`repro.fleet.FleetVerifier` runs the same core over thousands
+  of enrolled provers with batched collections.
+
+:class:`VerificationCore` holds only deployment policy (the config, the
+schedule tolerance, the missing-measurement allowance) and the resolved
+crypto primitives.  Per-device state — the shared key, the known-good
+digests, the newest timestamp already seen — is passed *into* every
+call, so a single core instance can verify any number of devices from
+any number of threads concurrently.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.arch.base import encode_timestamp
+from repro.core.config import ErasmusConfig
+from repro.core.measurement import Measurement
+from repro.core.protocol import (
+    CollectRequest,
+    CollectResponse,
+    OnDemandRequest,
+    OnDemandResponse,
+)
+from repro.crypto.backend import resolve_backend
+from repro.crypto.mac import get_mac
+
+
+class DeviceStatus(enum.Enum):
+    """Overall outcome of verifying one collection."""
+
+    HEALTHY = "healthy"
+    INFECTED = "infected"
+    TAMPERED = "tampered"
+    NO_DATA = "no_data"
+
+
+@dataclass(frozen=True)
+class MeasurementVerdict:
+    """Verdict on a single received measurement."""
+
+    measurement: Measurement
+    authentic: bool
+    healthy: bool
+    from_future: bool = False
+
+    @property
+    def acceptable(self) -> bool:
+        """Authentic, plausible and matching a known-good state."""
+        return self.authentic and self.healthy and not self.from_future
+
+
+@dataclass
+class VerificationReport:
+    """Outcome of verifying one collection from one prover."""
+
+    device_id: str
+    collection_time: float
+    status: DeviceStatus
+    verdicts: List[MeasurementVerdict] = field(default_factory=list)
+    anomalies: List[str] = field(default_factory=list)
+    freshness: Optional[float] = None
+    missing_intervals: int = 0
+
+    @property
+    def measurement_count(self) -> int:
+        """Number of measurements received in this collection."""
+        return len(self.verdicts)
+
+    @property
+    def infected_timestamps(self) -> List[float]:
+        """Timestamps at which the prover's state was not a known-good one."""
+        return [verdict.measurement.timestamp for verdict in self.verdicts
+                if verdict.authentic and not verdict.healthy]
+
+    def detected_infection(self) -> bool:
+        """True when this collection exposed malware presence or tampering."""
+        return self.status in (DeviceStatus.INFECTED, DeviceStatus.TAMPERED)
+
+    @property
+    def freshness_label(self) -> str:
+        """Freshness rendered for humans (``n/a`` for empty collections)."""
+        return "n/a" if self.freshness is None else f"{self.freshness:.0f}s"
+
+    def summary(self) -> str:
+        """One-line human-readable account of this collection."""
+        text = (f"{self.device_id}: {self.status.value}, "
+                f"{self.measurement_count} record(s), "
+                f"freshness {self.freshness_label}")
+        if self.missing_intervals:
+            text += f", {self.missing_intervals} missing"
+        if self.anomalies:
+            text += f" ({'; '.join(self.anomalies)})"
+        return text
+
+    def __repr__(self) -> str:
+        return (f"VerificationReport(device_id={self.device_id!r}, "
+                f"status={self.status.value!r}, "
+                f"records={self.measurement_count}, "
+                f"anomalies={len(self.anomalies)})")
+
+
+@dataclass(frozen=True)
+class Enrollment:
+    """The per-device facts a verification needs: key and healthy states.
+
+    ``last_seen`` is the newest timestamp accepted in an earlier
+    collection — records at or before it are treated as redundant
+    re-collections rather than schedule gaps (Section 3.1).
+    """
+
+    device_id: str
+    key: bytes
+    healthy_digests: frozenset[bytes]
+    last_seen: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.key:
+            raise ValueError("the shared key must be non-empty")
+
+    @classmethod
+    def create(cls, device_id: str, key: bytes,
+               healthy_digests: Iterable[bytes],
+               last_seen: Optional[float] = None) -> "Enrollment":
+        """Normalize raw key material into an enrollment record."""
+        return cls(device_id=device_id, key=bytes(key),
+                   healthy_digests=frozenset(bytes(d)
+                                             for d in healthy_digests),
+                   last_seen=last_seen)
+
+    def advanced(self, last_seen: float) -> "Enrollment":
+        """Copy with an updated newest-seen timestamp."""
+        return Enrollment(device_id=self.device_id, key=self.key,
+                          healthy_digests=self.healthy_digests,
+                          last_seen=last_seen)
+
+    def with_digest(self, digest: bytes) -> "Enrollment":
+        """Copy whitelisting one more software state (e.g. an update)."""
+        return Enrollment(device_id=self.device_id, key=self.key,
+                          healthy_digests=self.healthy_digests |
+                          {bytes(digest)},
+                          last_seen=self.last_seen)
+
+
+class VerificationCore:
+    """Stateless verification of ERASMUS measurement histories.
+
+    ``allowed_missing`` is the Section 5 policy knob: how many expected
+    measurements may be missing from a collection (e.g. legitimately
+    aborted because of time-critical tasks) before the verifier treats
+    the absence as tampering.  The default of zero is the strict policy.
+    """
+
+    def __init__(self, config: ErasmusConfig,
+                 schedule_tolerance: float = 0.25,
+                 allowed_missing: int = 0) -> None:
+        if not 0 <= schedule_tolerance < 1:
+            raise ValueError("schedule tolerance must be in [0, 1)")
+        if allowed_missing < 0:
+            raise ValueError("allowed_missing must be non-negative")
+        self.config = config
+        self.schedule_tolerance = schedule_tolerance
+        self.allowed_missing = allowed_missing
+        self.mac_algorithm = get_mac(config.mac_name)
+        self.crypto_backend = resolve_backend(config.crypto_backend)
+
+    # ------------------------------------------------------------------
+    # Request authentication material
+    # ------------------------------------------------------------------
+    def request_tag(self, key: bytes, request_time: float) -> bytes:
+        """``MAC_K(t_req)`` for an authenticated ERASMUS+OD request."""
+        return self.mac_algorithm.mac(key, encode_timestamp(request_time),
+                                      backend=self.crypto_backend)
+
+    # ------------------------------------------------------------------
+    # Per-measurement checks
+    # ------------------------------------------------------------------
+    def verdict(self, enrollment: Enrollment, measurement: Measurement,
+                collection_time: float) -> MeasurementVerdict:
+        """Judge one measurement: MAC, known-good digest, plausibility."""
+        authentic = self.mac_algorithm.verify(
+            enrollment.key, measurement.authenticated_payload(),
+            measurement.tag, backend=self.crypto_backend)
+        healthy = measurement.digest in enrollment.healthy_digests
+        from_future = measurement.timestamp > collection_time + 1e-6
+        return MeasurementVerdict(measurement=measurement, authentic=authentic,
+                                  healthy=healthy, from_future=from_future)
+
+    def _expected_interval(self) -> float:
+        """The schedule spacing gaps are judged against (``U`` if irregular)."""
+        if self.config.irregular_upper is not None:
+            return self.config.irregular_upper
+        return self.config.measurement_interval
+
+    def check_schedule(self, timestamps: List[float],
+                       last_seen: Optional[float]) -> tuple[int, List[str]]:
+        """Check timestamp spacing against the expected schedule.
+
+        Returns the number of missing measurement intervals and a list of
+        anomaly descriptions (duplicates within one response, oversized
+        gaps).  Records already seen in an earlier collection are
+        ignored for gap purposes — re-collecting them is merely
+        redundant (Section 3.1), not an attack.  For irregular schedules
+        the upper bound ``U`` plays the role of the expected interval.
+        """
+        anomalies: List[str] = []
+        expected = self._expected_interval()
+        allowed_gap = expected * (1 + self.schedule_tolerance)
+        ordered = sorted(timestamps)
+
+        duplicates = sum(1 for first, second in zip(ordered, ordered[1:])
+                         if second - first <= 1e-9)
+        if duplicates:
+            anomalies.append(
+                f"{duplicates} duplicate timestamp(s) within one collection")
+
+        new_only = ordered
+        if last_seen is not None:
+            new_only = [timestamp for timestamp in ordered
+                        if timestamp > last_seen + 1e-9]
+        missing = 0
+        previous = last_seen
+        for timestamp in new_only:
+            if previous is not None:
+                gap = timestamp - previous
+                if gap > allowed_gap:
+                    skipped = int(gap / expected) - 1
+                    missing += max(1, skipped)
+            previous = timestamp
+        return missing, anomalies
+
+    # ------------------------------------------------------------------
+    # Whole-collection verification
+    # ------------------------------------------------------------------
+    def verify_measurements(self, enrollment: Enrollment,
+                            measurements: List[Measurement],
+                            collection_time: float,
+                            expect_nonempty: bool = True
+                            ) -> VerificationReport:
+        """Verify one measurement history against the enrollment facts.
+
+        This is the pure core of ``verify_collection``: no internal
+        state is read or written, so callers own all bookkeeping (report
+        history, newest-seen timestamps).
+        """
+        report = VerificationReport(device_id=enrollment.device_id,
+                                    collection_time=collection_time,
+                                    status=DeviceStatus.HEALTHY)
+        if not measurements:
+            report.status = DeviceStatus.NO_DATA if not expect_nonempty \
+                else DeviceStatus.TAMPERED
+            if expect_nonempty:
+                report.anomalies.append("prover returned no measurements")
+            return report
+
+        for measurement in measurements:
+            report.verdicts.append(
+                self.verdict(enrollment, measurement, collection_time))
+
+        timestamps = [verdict.measurement.timestamp
+                      for verdict in report.verdicts]
+        report.missing_intervals, schedule_anomalies = self.check_schedule(
+            sorted(timestamps), enrollment.last_seen)
+        report.anomalies.extend(schedule_anomalies)
+        report.freshness = collection_time - max(timestamps)
+
+        # Stale tail: the newest record should not be older than one
+        # (tolerated) measurement interval — otherwise the most recent
+        # measurements were deleted or silently skipped.
+        expected_interval = self._expected_interval()
+        allowed_age = expected_interval * (1 + self.schedule_tolerance)
+        if report.freshness > allowed_age:
+            report.missing_intervals += max(
+                1, int(report.freshness / expected_interval) - 1)
+
+        forged = [verdict for verdict in report.verdicts
+                  if not verdict.authentic]
+        future = [verdict for verdict in report.verdicts if verdict.from_future]
+        infected = [verdict for verdict in report.verdicts
+                    if verdict.authentic and not verdict.healthy]
+
+        if forged or future or schedule_anomalies:
+            report.status = DeviceStatus.TAMPERED
+            if forged:
+                report.anomalies.append(
+                    f"{len(forged)} measurement(s) failed MAC verification")
+            if future:
+                report.anomalies.append(
+                    f"{len(future)} measurement(s) are timestamped in the future")
+        elif infected:
+            report.status = DeviceStatus.INFECTED
+        elif report.missing_intervals > self.allowed_missing:
+            # Gaps without other anomalies: measurements were deleted or
+            # skipped beyond what the deployment policy tolerates.  The
+            # paper treats unexplained absence as self-incriminating.
+            report.status = DeviceStatus.TAMPERED
+            report.anomalies.append(
+                f"{report.missing_intervals} expected measurement(s) missing "
+                f"(policy allows {self.allowed_missing})")
+        return report
+
+    def verify_ondemand(self, enrollment: Enrollment,
+                        request: OnDemandRequest,
+                        response: OnDemandResponse,
+                        collection_time: float) -> VerificationReport:
+        """Verify an ERASMUS+OD response (Figure 4, verifier side).
+
+        In addition to the history checks, the fresh measurement ``M_0``
+        must exist and must have been computed at or after the request
+        time (otherwise the prover replayed an old record).
+        """
+        measurements = list(response.measurements)
+        if response.fresh is not None:
+            measurements = [response.fresh] + measurements
+        report = self.verify_measurements(enrollment, measurements,
+                                          collection_time,
+                                          expect_nonempty=True)
+        if response.fresh is None:
+            report.anomalies.append("prover returned no fresh measurement")
+            report.status = DeviceStatus.TAMPERED
+        elif response.fresh.timestamp + 1e-6 < request.request_time:
+            report.anomalies.append(
+                "fresh measurement is older than the request")
+            report.status = DeviceStatus.TAMPERED
+        return report
+
+    @staticmethod
+    def advance_last_seen(report: VerificationReport,
+                          last_seen: Optional[float]) -> Optional[float]:
+        """The newest-seen timestamp after accepting ``report``."""
+        timestamps = [verdict.measurement.timestamp
+                      for verdict in report.verdicts]
+        if not timestamps:
+            return last_seen
+        return max(timestamps, default=last_seen
+                   if last_seen is not None else 0.0)
+
+
+class BaseVerifier:
+    """Shared enrollment store and bookkeeping for verifier front ends.
+
+    Both the legacy single-device :class:`repro.core.ErasmusVerifier`
+    and the fleet-scale :class:`repro.fleet.FleetVerifier` subclass
+    this: they keep :class:`Enrollment` records per device, advance the
+    newest-seen timestamp after every accepted report, and delegate all
+    judgement to the stateless :class:`VerificationCore`.
+    """
+
+    def __init__(self, config: ErasmusConfig,
+                 schedule_tolerance: float = 0.25,
+                 allowed_missing: int = 0) -> None:
+        self.config = config
+        self.core = VerificationCore(config,
+                                     schedule_tolerance=schedule_tolerance,
+                                     allowed_missing=allowed_missing)
+        self._enrollments: Dict[str, Enrollment] = {}
+        self._last_collection_time: Dict[str, float] = {}
+
+    # Policy attributes kept readable for existing callers/tests.
+    @property
+    def schedule_tolerance(self) -> float:
+        return self.core.schedule_tolerance
+
+    @property
+    def allowed_missing(self) -> int:
+        return self.core.allowed_missing
+
+    @property
+    def mac_algorithm(self):
+        return self.core.mac_algorithm
+
+    @property
+    def crypto_backend(self):
+        return self.core.crypto_backend
+
+    # ------------------------------------------------------------------
+    # Enrollment
+    # ------------------------------------------------------------------
+    def enroll(self, device_id: str, key: bytes,
+               healthy_digests: Iterable[bytes]) -> None:
+        """Register a prover: its shared key and its known-good states."""
+        self._enrollments[device_id] = Enrollment.create(
+            device_id, key, healthy_digests)
+
+    def is_enrolled(self, device_id: str) -> bool:
+        """True when the device has been enrolled."""
+        return device_id in self._enrollments
+
+    def healthy_digests(self, device_id: str) -> frozenset[bytes]:
+        """The whitelisted software states for one device."""
+        return self._enrollment_for(device_id).healthy_digests
+
+    def add_healthy_digest(self, device_id: str, digest: bytes) -> None:
+        """Whitelist an additional software state (e.g. after an update)."""
+        self._enrollments[device_id] = \
+            self._enrollments[device_id].with_digest(digest)
+
+    def _enrollment_for(self, device_id: str) -> Enrollment:
+        try:
+            return self._enrollments[device_id]
+        except KeyError as exc:
+            raise KeyError(f"device {device_id!r} is not enrolled") from exc
+
+    # ------------------------------------------------------------------
+    # Requests and bookkeeping
+    # ------------------------------------------------------------------
+    def create_collect_request(self, k: Optional[int] = None) -> CollectRequest:
+        """Build a plain collection request (no authentication needed)."""
+        if k is None:
+            k = self.config.measurements_per_collection
+        return CollectRequest(k=k)
+
+    def verify_collection(self, device_id: str, response: CollectResponse,
+                          collection_time: float) -> VerificationReport:
+        """Verify a plain ERASMUS collection (Figure 2, verifier side)."""
+        enrollment = self._enrollment_for(device_id)
+        report = self.core.verify_measurements(
+            enrollment, list(response.measurements), collection_time,
+            expect_nonempty=True)
+        return self._commit(report)
+
+    def _commit(self, report: VerificationReport) -> VerificationReport:
+        """Accept a finished report; subclasses add their own recording."""
+        self._advance_bookkeeping(report)
+        return report
+
+    def _advance_bookkeeping(self, report: VerificationReport) -> None:
+        """Record the collection time and newest-seen timestamp.
+
+        Only collections that actually carried measurements advance the
+        per-device state — an empty or unanswered round proves nothing
+        about which records already reached the verifier.
+        """
+        if not report.verdicts:
+            return
+        enrollment = self._enrollments[report.device_id]
+        advanced = self.core.advance_last_seen(report, enrollment.last_seen)
+        if advanced is not None:
+            self._enrollments[report.device_id] = \
+                enrollment.advanced(advanced)
+        self._last_collection_time[report.device_id] = report.collection_time
+
+    def last_collection_time(self, device_id: str) -> Optional[float]:
+        """Time of the most recent collection that carried measurements."""
+        return self._last_collection_time.get(device_id)

@@ -1,4 +1,4 @@
-"""The ERASMUS verifier.
+"""The ERASMUS verifier (single-device legacy entry point).
 
 The verifier (Vrf) shares the symmetric key ``K`` with each prover and
 knows the prover's expected (healthy) software states and measurement
@@ -14,141 +14,63 @@ schedule.  During a collection it:
   this is what lets ERASMUS detect mobile malware that has already left;
 * computes freshness (collection time minus newest timestamp).
 
-The result is a :class:`VerificationReport` with per-measurement
-verdicts and an overall :class:`DeviceStatus`.
+The checks themselves live in the stateless
+:class:`repro.core.verification.VerificationCore`, and enrollment
+bookkeeping in :class:`repro.core.verification.BaseVerifier`; this
+class is the thin stateful shim that keeps the original hand-wired API
+working.  New code — anything managing more than a handful of devices —
+should use :class:`repro.fleet.FleetVerifier`, which runs the same core
+with batched collections, transports and report sinks.
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import List, Optional
 
-from repro.arch.base import encode_timestamp
 from repro.core.config import ErasmusConfig
 from repro.core.measurement import Measurement
-from repro.core.protocol import (
-    CollectRequest,
-    CollectResponse,
-    OnDemandRequest,
-    OnDemandResponse,
+from repro.core.protocol import OnDemandRequest, OnDemandResponse
+from repro.core.verification import (
+    BaseVerifier,
+    DeviceStatus,
+    MeasurementVerdict,
+    VerificationReport,
 )
-from repro.crypto.backend import resolve_backend
-from repro.crypto.mac import get_mac
+
+__all__ = [
+    "DeviceStatus",
+    "ErasmusVerifier",
+    "MeasurementVerdict",
+    "VerificationReport",
+]
 
 
-class DeviceStatus(enum.Enum):
-    """Overall outcome of verifying one collection."""
-
-    HEALTHY = "healthy"
-    INFECTED = "infected"
-    TAMPERED = "tampered"
-    NO_DATA = "no_data"
-
-
-@dataclass(frozen=True)
-class MeasurementVerdict:
-    """Verdict on a single received measurement."""
-
-    measurement: Measurement
-    authentic: bool
-    healthy: bool
-    from_future: bool = False
-
-    @property
-    def acceptable(self) -> bool:
-        """Authentic, plausible and matching a known-good state."""
-        return self.authentic and self.healthy and not self.from_future
-
-
-@dataclass
-class VerificationReport:
-    """Outcome of verifying one collection from one prover."""
-
-    device_id: str
-    collection_time: float
-    status: DeviceStatus
-    verdicts: List[MeasurementVerdict] = field(default_factory=list)
-    anomalies: List[str] = field(default_factory=list)
-    freshness: Optional[float] = None
-    missing_intervals: int = 0
-
-    @property
-    def measurement_count(self) -> int:
-        """Number of measurements received in this collection."""
-        return len(self.verdicts)
-
-    @property
-    def infected_timestamps(self) -> List[float]:
-        """Timestamps at which the prover's state was not a known-good one."""
-        return [verdict.measurement.timestamp for verdict in self.verdicts
-                if verdict.authentic and not verdict.healthy]
-
-    def detected_infection(self) -> bool:
-        """True when this collection exposed malware presence or tampering."""
-        return self.status in (DeviceStatus.INFECTED, DeviceStatus.TAMPERED)
-
-
-class ErasmusVerifier:
+class ErasmusVerifier(BaseVerifier):
     """A verifier that manages one or more provers sharing per-device keys.
 
-    ``allowed_missing`` is the Section 5 policy knob: how many expected
-    measurements may be missing from a collection (e.g. legitimately
-    aborted because of time-critical tasks) before the verifier treats
-    the absence as tampering.  The default of zero is the strict policy.
+    Deprecated as the primary entry point in favour of
+    :class:`repro.fleet.FleetVerifier`; kept as a fully working shim for
+    single-device walkthroughs and the original examples.  All policy
+    parameters are forwarded to the underlying
+    :class:`~repro.core.verification.VerificationCore` (see there for
+    the meaning of ``schedule_tolerance`` and ``allowed_missing``).
     """
 
     def __init__(self, config: ErasmusConfig,
                  schedule_tolerance: float = 0.25,
                  allowed_missing: int = 0) -> None:
-        if not 0 <= schedule_tolerance < 1:
-            raise ValueError("schedule tolerance must be in [0, 1)")
-        if allowed_missing < 0:
-            raise ValueError("allowed_missing must be non-negative")
-        self.config = config
-        self.schedule_tolerance = schedule_tolerance
-        self.allowed_missing = allowed_missing
-        self.mac_algorithm = get_mac(config.mac_name)
-        self.crypto_backend = resolve_backend(config.crypto_backend)
-        self._keys: Dict[str, bytes] = {}
-        self._healthy_digests: Dict[str, set[bytes]] = {}
-        self._last_collection_time: Dict[str, float] = {}
-        self._last_seen_timestamp: Dict[str, float] = {}
+        super().__init__(config, schedule_tolerance=schedule_tolerance,
+                         allowed_missing=allowed_missing)
         self.reports: List[VerificationReport] = []
         self._request_counter = 0.0
 
     # ------------------------------------------------------------------
-    # Enrollment
-    # ------------------------------------------------------------------
-    def enroll(self, device_id: str, key: bytes,
-               healthy_digests: Iterable[bytes]) -> None:
-        """Register a prover: its shared key and its known-good states."""
-        if not key:
-            raise ValueError("the shared key must be non-empty")
-        self._keys[device_id] = bytes(key)
-        self._healthy_digests[device_id] = {bytes(d) for d in healthy_digests}
-
-    def is_enrolled(self, device_id: str) -> bool:
-        """True when the device has been enrolled."""
-        return device_id in self._keys
-
-    def add_healthy_digest(self, device_id: str, digest: bytes) -> None:
-        """Whitelist an additional software state (e.g. after an update)."""
-        self._healthy_digests[device_id].add(bytes(digest))
-
-    # ------------------------------------------------------------------
     # Request creation
     # ------------------------------------------------------------------
-    def create_collect_request(self, k: Optional[int] = None) -> CollectRequest:
-        """Build a plain collection request (no authentication needed)."""
-        if k is None:
-            k = self.config.measurements_per_collection
-        return CollectRequest(k=k)
-
     def create_ondemand_request(self, device_id: str, request_time: float,
                                 k: Optional[int] = None) -> OnDemandRequest:
         """Build an authenticated ERASMUS+OD request for one prover."""
-        key = self._key_for(device_id)
+        enrollment = self._enrollment_for(device_id)
         if k is None:
             k = self.config.measurements_per_collection
         # Guarantee strictly increasing request timestamps even if two
@@ -156,166 +78,35 @@ class ErasmusVerifier:
         if request_time <= self._request_counter:
             request_time = self._request_counter + 1e-6
         self._request_counter = request_time
-        tag = self.mac_algorithm.mac(key, encode_timestamp(request_time),
-                                     backend=self.crypto_backend)
+        tag = self.core.request_tag(enrollment.key, request_time)
         return OnDemandRequest(request_time=request_time, k=k, tag=tag)
 
     # ------------------------------------------------------------------
-    # Verification
+    # Verification (verify_collection inherited from BaseVerifier)
     # ------------------------------------------------------------------
-    def _key_for(self, device_id: str) -> bytes:
-        try:
-            return self._keys[device_id]
-        except KeyError as exc:
-            raise KeyError(f"device {device_id!r} is not enrolled") from exc
-
-    def _verdict(self, device_id: str, measurement: Measurement,
-                 collection_time: float) -> MeasurementVerdict:
-        key = self._key_for(device_id)
-        authentic = self.mac_algorithm.verify(
-            key, measurement.authenticated_payload(), measurement.tag,
-            backend=self.crypto_backend)
-        healthy = measurement.digest in self._healthy_digests[device_id]
-        from_future = measurement.timestamp > collection_time + 1e-6
-        return MeasurementVerdict(measurement=measurement, authentic=authentic,
-                                  healthy=healthy, from_future=from_future)
-
-    def _check_schedule(self, timestamps: List[float],
-                        last_seen: Optional[float]) -> tuple[int, List[str]]:
-        """Check timestamp spacing against the expected schedule.
-
-        Returns the number of missing measurement intervals and a list of
-        anomaly descriptions (duplicates within one response, oversized
-        gaps).  Records already seen in an earlier collection are
-        ignored for gap purposes — re-collecting them is merely
-        redundant (Section 3.1), not an attack.  For irregular schedules
-        the upper bound ``U`` plays the role of the expected interval.
-        """
-        anomalies: List[str] = []
-        expected = self.config.measurement_interval
-        if self.config.irregular_upper is not None:
-            expected = self.config.irregular_upper
-        allowed_gap = expected * (1 + self.schedule_tolerance)
-        ordered = sorted(timestamps)
-
-        duplicates = sum(1 for first, second in zip(ordered, ordered[1:])
-                         if second - first <= 1e-9)
-        if duplicates:
-            anomalies.append(
-                f"{duplicates} duplicate timestamp(s) within one collection")
-
-        new_only = ordered
-        if last_seen is not None:
-            new_only = [timestamp for timestamp in ordered
-                        if timestamp > last_seen + 1e-9]
-        missing = 0
-        previous = last_seen
-        for timestamp in new_only:
-            if previous is not None:
-                gap = timestamp - previous
-                if gap > allowed_gap:
-                    skipped = int(gap / expected) - 1
-                    missing += max(1, skipped)
-            previous = timestamp
-        return missing, anomalies
-
-    def verify_collection(self, device_id: str, response: CollectResponse,
-                          collection_time: float) -> VerificationReport:
-        """Verify a plain ERASMUS collection (Figure 2, verifier side)."""
-        return self._verify_measurements(
-            device_id, list(response.measurements), collection_time,
-            expect_nonempty=True)
-
     def verify_ondemand(self, device_id: str, request: OnDemandRequest,
                         response: OnDemandResponse,
                         collection_time: float) -> VerificationReport:
-        """Verify an ERASMUS+OD response (Figure 4, verifier side).
-
-        In addition to the history checks, the fresh measurement ``M_0``
-        must exist and must have been computed at or after the request
-        time (otherwise the prover replayed an old record).
-        """
-        measurements = list(response.measurements)
-        if response.fresh is not None:
-            measurements = [response.fresh] + measurements
-        report = self._verify_measurements(device_id, measurements,
-                                           collection_time,
-                                           expect_nonempty=True)
-        if response.fresh is None:
-            report.anomalies.append("prover returned no fresh measurement")
-            report.status = DeviceStatus.TAMPERED
-        elif response.fresh.timestamp + 1e-6 < request.request_time:
-            report.anomalies.append(
-                "fresh measurement is older than the request")
-            report.status = DeviceStatus.TAMPERED
-        return report
+        """Verify an ERASMUS+OD response (Figure 4, verifier side)."""
+        enrollment = self._enrollment_for(device_id)
+        report = self.core.verify_ondemand(enrollment, request, response,
+                                           collection_time)
+        return self._commit(report)
 
     def _verify_measurements(self, device_id: str,
                              measurements: List[Measurement],
                              collection_time: float,
                              expect_nonempty: bool) -> VerificationReport:
-        last_seen = self._last_seen_timestamp.get(device_id)
-        report = VerificationReport(device_id=device_id,
-                                    collection_time=collection_time,
-                                    status=DeviceStatus.HEALTHY)
-        if not measurements:
-            report.status = DeviceStatus.NO_DATA if not expect_nonempty \
-                else DeviceStatus.TAMPERED
-            if expect_nonempty:
-                report.anomalies.append("prover returned no measurements")
-            self.reports.append(report)
-            return report
+        """Compatibility hook mirroring the pre-refactor private API."""
+        enrollment = self._enrollment_for(device_id)
+        report = self.core.verify_measurements(enrollment, measurements,
+                                               collection_time,
+                                               expect_nonempty=expect_nonempty)
+        return self._commit(report)
 
-        for measurement in measurements:
-            report.verdicts.append(
-                self._verdict(device_id, measurement, collection_time))
-
-        timestamps = [verdict.measurement.timestamp
-                      for verdict in report.verdicts]
-        report.missing_intervals, schedule_anomalies = self._check_schedule(
-            sorted(timestamps), last_seen)
-        report.anomalies.extend(schedule_anomalies)
-        report.freshness = collection_time - max(timestamps)
-
-        # Stale tail: the newest record should not be older than one
-        # (tolerated) measurement interval — otherwise the most recent
-        # measurements were deleted or silently skipped.
-        expected_interval = self.config.measurement_interval
-        if self.config.irregular_upper is not None:
-            expected_interval = self.config.irregular_upper
-        allowed_age = expected_interval * (1 + self.schedule_tolerance)
-        if report.freshness > allowed_age:
-            report.missing_intervals += max(
-                1, int(report.freshness / expected_interval) - 1)
-
-        forged = [verdict for verdict in report.verdicts
-                  if not verdict.authentic]
-        future = [verdict for verdict in report.verdicts if verdict.from_future]
-        infected = [verdict for verdict in report.verdicts
-                    if verdict.authentic and not verdict.healthy]
-
-        if forged or future or schedule_anomalies:
-            report.status = DeviceStatus.TAMPERED
-            if forged:
-                report.anomalies.append(
-                    f"{len(forged)} measurement(s) failed MAC verification")
-            if future:
-                report.anomalies.append(
-                    f"{len(future)} measurement(s) are timestamped in the future")
-        elif infected:
-            report.status = DeviceStatus.INFECTED
-        elif report.missing_intervals > self.allowed_missing:
-            # Gaps without other anomalies: measurements were deleted or
-            # skipped beyond what the deployment policy tolerates.  The
-            # paper treats unexplained absence as self-incriminating.
-            report.status = DeviceStatus.TAMPERED
-            report.anomalies.append(
-                f"{report.missing_intervals} expected measurement(s) missing "
-                f"(policy allows {self.allowed_missing})")
-
-        self._last_collection_time[device_id] = collection_time
-        self._last_seen_timestamp[device_id] = max(
-            timestamps, default=last_seen if last_seen is not None else 0.0)
+    def _commit(self, report: VerificationReport) -> VerificationReport:
+        """Record a finished report and advance per-device bookkeeping."""
+        self._advance_bookkeeping(report)
         self.reports.append(report)
         return report
 
@@ -326,7 +117,3 @@ class ErasmusVerifier:
         """All reports produced so far for one device."""
         return [report for report in self.reports
                 if report.device_id == device_id]
-
-    def last_collection_time(self, device_id: str) -> Optional[float]:
-        """Time of the most recent verified collection for a device."""
-        return self._last_collection_time.get(device_id)

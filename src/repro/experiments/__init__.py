@@ -17,12 +17,14 @@ paper-vs-measured comparison.
 | ``irregular_intervals``   | Section 3.5 — schedule-aware malware       |
 | ``availability``          | Section 5 — availability / lenient windows |
 | ``swarm_mobility``        | Section 6 — swarm attestation & mobility   |
+| ``fleet_collection``      | (repro-own) fleet collection throughput    |
 """
 
 from repro.experiments import (
     availability,
     fig6_msp430_runtime,
     fig8_imx6_runtime,
+    fleet_collection,
     hwcost,
     irregular_intervals,
     qoa_detection,
@@ -35,6 +37,7 @@ __all__ = [
     "availability",
     "fig6_msp430_runtime",
     "fig8_imx6_runtime",
+    "fleet_collection",
     "hwcost",
     "irregular_intervals",
     "qoa_detection",

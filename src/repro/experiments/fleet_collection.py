@@ -1,0 +1,98 @@
+"""Fleet-collection throughput: devices per second across transports.
+
+Not a paper artifact — this harness characterizes the reproduction's
+own fleet service (:mod:`repro.fleet`): how fast one batched
+``collect_all`` round (provision → schedule → collect → verify) runs
+for a given fleet size over each transport.  It backs the
+``benchmarks/test_fleet_collection.py`` throughput benchmark and gives
+scaling PRs a fixed yardstick.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.fleet import DeviceProfile, Fleet
+
+DEFAULT_TRANSPORTS: Sequence[str] = ("in-process", "simulated-network",
+                                     "swarm-relay")
+
+
+def default_profile() -> DeviceProfile:
+    """The small SMART+ profile the throughput rows are measured with."""
+    return DeviceProfile.smartplus(firmware=b"fleet-bench-firmware",
+                                   application_size=512,
+                                   measurement_interval=60.0,
+                                   collection_interval=600.0,
+                                   buffer_slots=16)
+
+
+def run_round(transport: str, device_count: int,
+              profile: Optional[DeviceProfile] = None,
+              horizon: Optional[float] = None,
+              max_workers: Optional[int] = None) -> Dict[str, object]:
+    """One full fleet round over one transport; returns a result row."""
+    profile = profile if profile is not None else default_profile()
+    if horizon is None:
+        horizon = profile.config.collection_interval
+    started = time.perf_counter()
+    fleet = Fleet.provision(profile, device_count,
+                            master_secret=b"fleet-bench-master-secret",
+                            transport=transport)
+    provisioned = time.perf_counter()
+    fleet.run_until(horizon)
+    measured = time.perf_counter()
+    reports = fleet.collect_all(max_workers=max_workers)
+    finished = time.perf_counter()
+
+    healthy = sum(1 for report in reports if not report.detected_infection())
+    wall_time = finished - started
+    return {
+        "transport": fleet.transport.name,
+        "devices": device_count,
+        "reports": len(reports),
+        "healthy": healthy,
+        "provision_s": provisioned - started,
+        "measure_s": measured - provisioned,
+        "collect_s": finished - measured,
+        "wall_time_s": wall_time,
+        "devices_per_second": device_count / wall_time if wall_time else 0.0,
+        "collect_devices_per_second":
+            device_count / (finished - measured) if finished > measured
+            else 0.0,
+        "sim_round_trip_s": fleet.now - horizon,
+    }
+
+
+def run(device_count: int = 1000,
+        transports: Sequence[str] = DEFAULT_TRANSPORTS,
+        profile: Optional[DeviceProfile] = None,
+        max_workers: Optional[int] = None) -> List[Dict[str, object]]:
+    """One throughput row per transport for the given fleet size."""
+    return [run_round(transport, device_count, profile=profile,
+                      max_workers=max_workers)
+            for transport in transports]
+
+
+def format_table(rows: List[Dict[str, object]]) -> str:
+    """Render the throughput rows as a fixed-width table."""
+    header = (f"{'transport':<20} {'devices':>8} {'healthy':>8} "
+              f"{'wall (s)':>9} {'dev/s':>8} {'collect dev/s':>14}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['transport']:<20} {row['devices']:>8} "
+            f"{row['healthy']:>8} {row['wall_time_s']:>9.2f} "
+            f"{row['devices_per_second']:>8.0f} "
+            f"{row['collect_devices_per_second']:>14.0f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the fleet throughput table (1,000 devices per transport)."""
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,86 @@
+"""Fleet-scale attestation service: the canonical public API.
+
+The paper's headline property — collections cheap enough to run
+continuously — only matters at scale, so this package treats
+attestation as a many-device service rather than a pairwise exchange:
+
+* :mod:`repro.fleet.profiles` — :class:`DeviceProfile`: one-call
+  provisioning of SMART+ / HYDRA devices (key, firmware, schedule,
+  MAC, crypto backend);
+* :mod:`repro.fleet.transport` — :class:`Transport` implementations
+  (in-process, simulated packet network, swarm relay tree) that all
+  speak the canonical wire encoding;
+* :mod:`repro.fleet.service` — :class:`FleetVerifier` (batched,
+  sharded ``collect_all`` over the stateless verification core) and the
+  :class:`Fleet` facade;
+* :mod:`repro.fleet.sinks` — pluggable report sinks (in-memory, JSONL,
+  :class:`FleetHealth` aggregation).
+
+Quickstart::
+
+    from repro.fleet import DeviceProfile, Fleet
+
+    profile = DeviceProfile.smartplus(firmware=b"pump-fw-v1",
+                                      measurement_interval=60.0,
+                                      collection_interval=600.0)
+    fleet = Fleet.provision(profile, 1000, master_secret=b"factory-secret")
+    fleet.run_until(600.0)
+    reports = fleet.collect_all()
+    print(fleet.health.summary())
+
+The legacy single-device entry points
+(:class:`repro.core.ErasmusProver` / :class:`repro.core.ErasmusVerifier`)
+keep working as thin shims over the same verification core.
+"""
+
+from repro.fleet.profiles import (
+    HYDRA,
+    SMARTPLUS,
+    DeviceProfile,
+    ProvisionedDevice,
+    derive_device_key,
+)
+from repro.fleet.service import (
+    DEFAULT_BATCH_SIZE,
+    TRANSPORT_FACTORIES,
+    Fleet,
+    FleetVerifier,
+)
+from repro.fleet.sinks import (
+    FleetHealth,
+    FleetHealthSink,
+    JsonlSink,
+    MemorySink,
+    ReportSink,
+    report_to_row,
+)
+from repro.fleet.transport import (
+    InProcessTransport,
+    SimulatedNetworkTransport,
+    SwarmRelayTransport,
+    Transport,
+    serve_request,
+)
+
+__all__ = [
+    "DEFAULT_BATCH_SIZE",
+    "DeviceProfile",
+    "Fleet",
+    "FleetHealth",
+    "FleetHealthSink",
+    "FleetVerifier",
+    "HYDRA",
+    "InProcessTransport",
+    "JsonlSink",
+    "MemorySink",
+    "ProvisionedDevice",
+    "ReportSink",
+    "SMARTPLUS",
+    "SimulatedNetworkTransport",
+    "SwarmRelayTransport",
+    "TRANSPORT_FACTORIES",
+    "Transport",
+    "derive_device_key",
+    "report_to_row",
+    "serve_request",
+]

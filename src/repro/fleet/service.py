@@ -1,0 +1,355 @@
+"""The fleet attestation service: enrollment, batched collection, reports.
+
+This is the canonical public API for running ERASMUS at fleet scale:
+
+* :class:`FleetVerifier` — enrolls any number of provers and runs
+  batched/sharded collection rounds over a :class:`~repro.fleet.transport.
+  Transport`, streaming every :class:`VerificationReport` to the
+  configured sinks and into a running :class:`FleetHealth` aggregate;
+* :class:`Fleet` — the one-call facade: provision ``count`` devices
+  from a :class:`DeviceProfile`, wire them to a transport and a shared
+  simulation engine, and expose ``run_until`` / ``collect_all``.
+
+The verification itself is the stateless
+:class:`repro.core.verification.VerificationCore`, shared with the
+legacy single-device :class:`repro.core.ErasmusVerifier`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
+
+from repro.core.config import ErasmusConfig
+from repro.core.protocol import (
+    OnDemandResponse,
+    ProtocolDecodeError,
+    decode_response,
+)
+from repro.core.verification import (
+    BaseVerifier,
+    DeviceStatus,
+    VerificationReport,
+)
+from repro.fleet.profiles import DeviceProfile, ProvisionedDevice
+from repro.fleet.sinks import FleetHealth, ReportSink
+from repro.fleet.transport import (
+    InProcessTransport,
+    SimulatedNetworkTransport,
+    SwarmRelayTransport,
+    Transport,
+)
+from repro.sim.engine import SimulationEngine
+
+#: Default number of devices verified per shard of a collection round.
+DEFAULT_BATCH_SIZE = 256
+
+
+class FleetVerifier(BaseVerifier):
+    """A verifier service managing an enrolled fleet of provers.
+
+    Parameters mirror the legacy :class:`repro.core.ErasmusVerifier`
+    (same ``schedule_tolerance`` / ``allowed_missing`` policy knobs);
+    ``sinks`` is any iterable of :class:`ReportSink` that each finished
+    report is streamed to, in enrollment-independent arrival order.
+    """
+
+    def __init__(self, config: ErasmusConfig,
+                 schedule_tolerance: float = 0.25,
+                 allowed_missing: int = 0,
+                 sinks: Iterable[ReportSink] = ()) -> None:
+        super().__init__(config, schedule_tolerance=schedule_tolerance,
+                         allowed_missing=allowed_missing)
+        self.sinks: List[ReportSink] = list(sinks)
+        self.health = FleetHealth()
+        self.rounds_completed = 0
+
+    # ------------------------------------------------------------------
+    # Enrollment (shared store in BaseVerifier, fleet conveniences here)
+    # ------------------------------------------------------------------
+    def enroll_device(self, device: ProvisionedDevice) -> None:
+        """Register a provisioned device (key and healthy digest bundled)."""
+        self.enroll(device.device_id, device.key, [device.healthy_digest])
+
+    def enrolled_ids(self) -> List[str]:
+        """All enrolled device ids, in enrollment order."""
+        return list(self._enrollments)
+
+    @property
+    def device_count(self) -> int:
+        """Number of enrolled devices."""
+        return len(self._enrollments)
+
+    def add_sink(self, sink: ReportSink) -> None:
+        """Attach one more report sink."""
+        self.sinks.append(sink)
+
+    # ------------------------------------------------------------------
+    # Single-response verification (verify_collection inherited)
+    # ------------------------------------------------------------------
+    def _verify_payload(self, device_id: str, payload: Optional[bytes],
+                        collection_time: float) -> VerificationReport:
+        """Judge one raw transport response (``None`` = never answered)."""
+        enrollment = self._enrollment_for(device_id)
+        if payload is None:
+            return VerificationReport(
+                device_id=device_id, collection_time=collection_time,
+                status=DeviceStatus.NO_DATA,
+                anomalies=["no response received"])
+        try:
+            response = decode_response(payload)
+        except ProtocolDecodeError as exc:
+            return VerificationReport(
+                device_id=device_id, collection_time=collection_time,
+                status=DeviceStatus.TAMPERED,
+                anomalies=[f"response could not be decoded: {exc}"])
+        if isinstance(response, OnDemandResponse):
+            return VerificationReport(
+                device_id=device_id, collection_time=collection_time,
+                status=DeviceStatus.TAMPERED,
+                anomalies=["unexpected on-demand response to a plain "
+                           "collection"])
+        return self.core.verify_measurements(
+            enrollment, list(response.measurements), collection_time,
+            expect_nonempty=True)
+
+    def _commit(self, report: VerificationReport) -> VerificationReport:
+        """Advance per-device bookkeeping and stream the report to sinks."""
+        self._advance_bookkeeping(report)
+        self.health.record(report)
+        for sink in self.sinks:
+            sink.emit(report)
+        return report
+
+    # ------------------------------------------------------------------
+    # Batched collection rounds
+    # ------------------------------------------------------------------
+    def collect_all(self, transport: Transport,
+                    collection_time: Optional[float] = None,
+                    k: Optional[int] = None,
+                    device_ids: Optional[Iterable[str]] = None,
+                    batch_size: int = DEFAULT_BATCH_SIZE,
+                    max_workers: Optional[int] = None
+                    ) -> List[VerificationReport]:
+        """Run one collection round over (a subset of) the fleet.
+
+        The round is sharded into batches of ``batch_size`` devices;
+        each batch's requests are exchanged through the transport in one
+        go (networked transports overlap the round-trips), then verified
+        — on a :class:`ThreadPoolExecutor` worker pool when
+        ``max_workers`` exceeds one, mirroring
+        :meth:`repro.analysis.sweep.ParameterSweep.run` — and committed
+        in deterministic device order.  Returns this round's reports.
+
+        With ``collection_time=None`` (the default) each batch is
+        verified at the transport engine's clock *after* its exchange,
+        so measurements taken while packets were in flight are never
+        misjudged as "from the future".  Pass an explicit time only for
+        engineless transports or deliberately retrospective audits.
+        """
+        if batch_size <= 0:
+            raise ValueError("batch size must be positive")
+        engine = getattr(transport, "engine", None)
+        if collection_time is None and engine is None:
+            raise ValueError(
+                "collection_time is required for transports without an "
+                "engine clock")
+        ids = list(device_ids) if device_ids is not None \
+            else self.enrolled_ids()
+        for device_id in ids:
+            self._enrollment_for(device_id)
+        request_bytes = self.create_collect_request(k).encode()
+
+        reports: List[VerificationReport] = []
+        for start in range(0, len(ids), batch_size):
+            batch = ids[start:start + batch_size]
+            responses = transport.exchange_many(
+                {device_id: request_bytes for device_id in batch})
+            batch_time = collection_time if collection_time is not None \
+                else engine.now
+
+            def _verify(device_id: str,
+                        batch_time: float = batch_time) -> VerificationReport:
+                return self._verify_payload(device_id,
+                                            responses.get(device_id),
+                                            batch_time)
+
+            if max_workers is not None and max_workers > 1 and len(batch) > 1:
+                with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                    batch_reports = list(pool.map(_verify, batch))
+            else:
+                batch_reports = [_verify(device_id) for device_id in batch]
+            for report in batch_reports:
+                reports.append(self._commit(report))
+        self.rounds_completed += 1
+        return reports
+
+
+# ----------------------------------------------------------------------
+# Facade
+# ----------------------------------------------------------------------
+
+#: Transport factories selectable by name in :meth:`Fleet.provision`.
+TRANSPORT_FACTORIES: Dict[str, Callable[..., Transport]] = {
+    "in-process": InProcessTransport,
+    "simulated-network": SimulatedNetworkTransport,
+    "swarm-relay": SwarmRelayTransport,
+}
+#: Convenience aliases.
+TRANSPORT_FACTORIES["network"] = SimulatedNetworkTransport
+TRANSPORT_FACTORIES["swarm"] = SwarmRelayTransport
+
+
+class Fleet:
+    """A provisioned fleet: devices, transport, engine and verifier service.
+
+    Build one with :meth:`provision`; then alternate ``run_until`` (let
+    provers self-measure on their schedules) with ``collect_all``
+    (verify everyone's history).  The same scenario code runs unchanged
+    over any transport.
+    """
+
+    def __init__(self, profile: DeviceProfile, verifier: FleetVerifier,
+                 transport: Transport, engine: SimulationEngine,
+                 devices: Dict[str, ProvisionedDevice]) -> None:
+        self.profile = profile
+        self.verifier = verifier
+        self.transport = transport
+        self.engine = engine
+        self._devices = devices
+
+    @classmethod
+    def provision(cls, profile: DeviceProfile, count: int, *,
+                  master_secret: bytes,
+                  transport: Union[str, Transport,
+                                   Callable[[SimulationEngine], Transport]]
+                  = "in-process",
+                  engine: Optional[SimulationEngine] = None,
+                  sinks: Iterable[ReportSink] = (),
+                  schedule_tolerance: float = 0.25,
+                  allowed_missing: int = 0,
+                  name_prefix: str = "dev",
+                  stagger: bool = True,
+                  start_time: float = 0.0,
+                  transport_options: Optional[Mapping[str, object]] = None
+                  ) -> "Fleet":
+        """Provision ``count`` devices from one profile, ready to attest.
+
+        Each device gets a key derived from ``master_secret``, an imaged
+        architecture, a prover attached to the shared engine (start
+        times staggered across one measurement interval unless
+        ``stagger=False``, so the fleet does not measure in lockstep),
+        a transport registration and a verifier enrollment.
+
+        ``transport`` may be a factory name from
+        :data:`TRANSPORT_FACTORIES`, a ready :class:`Transport`
+        instance, or a callable receiving the engine.
+        """
+        if count <= 0:
+            raise ValueError("a fleet needs at least one device")
+        if engine is None:
+            engine = SimulationEngine()
+        options = dict(transport_options or {})
+        if isinstance(transport, str):
+            try:
+                factory = TRANSPORT_FACTORIES[transport]
+            except KeyError as exc:
+                known = ", ".join(sorted(TRANSPORT_FACTORIES))
+                raise ValueError(f"unknown transport {transport!r}; "
+                                 f"known: {known}") from exc
+            built_transport = factory(engine, **options)
+        elif isinstance(transport, Transport):
+            if options:
+                # A ready instance cannot absorb construction options;
+                # dropping them silently would run the wrong network.
+                raise ValueError(
+                    "transport_options cannot be combined with a ready "
+                    f"Transport instance (got {sorted(options)})")
+            built_transport = transport
+        else:
+            built_transport = transport(engine, **options)
+
+        verifier = FleetVerifier(profile.config,
+                                 schedule_tolerance=schedule_tolerance,
+                                 allowed_missing=allowed_missing,
+                                 sinks=sinks)
+        devices: Dict[str, ProvisionedDevice] = {}
+        interval = profile.config.measurement_interval
+        for index in range(count):
+            device_id = f"{name_prefix}-{index:04d}"
+            device = profile.provision(device_id,
+                                       master_secret=master_secret)
+            offset = start_time
+            if stagger:
+                offset += (index / count) * interval
+            device.prover.attach(engine, start_time=offset)
+            built_transport.register(device)
+            verifier.enroll_device(device)
+            devices[device_id] = device
+        return cls(profile=profile, verifier=verifier,
+                   transport=built_transport, engine=engine, devices=devices)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def device_count(self) -> int:
+        """Number of provisioned devices."""
+        return len(self._devices)
+
+    def device_ids(self) -> List[str]:
+        """All device ids, in provisioning order."""
+        return list(self._devices)
+
+    def device(self, device_id: str) -> ProvisionedDevice:
+        """Look up one provisioned device."""
+        try:
+            return self._devices[device_id]
+        except KeyError as exc:
+            raise KeyError(f"no device {device_id!r} in this fleet") from exc
+
+    def devices(self) -> List[ProvisionedDevice]:
+        """All provisioned devices, in provisioning order."""
+        return list(self._devices.values())
+
+    @property
+    def health(self) -> FleetHealth:
+        """The verifier's running fleet-health aggregate."""
+        return self.verifier.health
+
+    @property
+    def now(self) -> float:
+        """Current virtual time of the shared engine."""
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Operation
+    # ------------------------------------------------------------------
+    def run_until(self, time: float) -> int:
+        """Advance the simulation (provers self-measure on schedule)."""
+        return self.engine.run(until=time)
+
+    def collect_all(self, k: Optional[int] = None,
+                    collection_time: Optional[float] = None,
+                    batch_size: int = DEFAULT_BATCH_SIZE,
+                    max_workers: Optional[int] = None
+                    ) -> List[VerificationReport]:
+        """Run one collection round over the whole fleet.
+
+        ``collection_time=None`` stamps each batch at the engine clock
+        after its exchange (see :meth:`FleetVerifier.collect_all`).
+        """
+        return self.verifier.collect_all(
+            self.transport, collection_time, k=k,
+            batch_size=batch_size, max_workers=max_workers)
+
+    def close(self) -> None:
+        """Close every attached report sink."""
+        for sink in self.verifier.sinks:
+            sink.close()
+
+    def __enter__(self) -> "Fleet":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

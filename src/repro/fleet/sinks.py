@@ -1,0 +1,185 @@
+"""Report sinks: where a fleet collection streams its verification output.
+
+A 1,000-device round produces 1,000 :class:`VerificationReport`s;
+rather than returning a list and letting every experiment hand-format
+it, the :class:`repro.fleet.FleetVerifier` streams each finished report
+to any number of sinks:
+
+* :class:`MemorySink` — keep reports in a list (tests, small fleets);
+* :class:`JsonlSink` — append one JSON object per report to a file, the
+  shape log-pipeline ingestion expects;
+* :class:`FleetHealthSink` — fold reports into a running
+  :class:`FleetHealth` aggregate without retaining them.
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+from dataclasses import dataclass, field
+from typing import IO, Dict, List, Optional, Set, Union
+
+from repro.core.verification import DeviceStatus, VerificationReport
+
+
+class ReportSink(abc.ABC):
+    """Consumer of per-device verification reports."""
+
+    @abc.abstractmethod
+    def emit(self, report: VerificationReport) -> None:
+        """Accept one finished report."""
+
+    def close(self) -> None:
+        """Flush and release any resources (default: nothing to do)."""
+
+    def __enter__(self) -> "ReportSink":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class MemorySink(ReportSink):
+    """Retain every report in order of arrival."""
+
+    def __init__(self) -> None:
+        self.reports: List[VerificationReport] = []
+
+    def emit(self, report: VerificationReport) -> None:
+        self.reports.append(report)
+
+    def for_device(self, device_id: str) -> List[VerificationReport]:
+        """All retained reports for one device."""
+        return [report for report in self.reports
+                if report.device_id == device_id]
+
+
+def report_to_row(report: VerificationReport) -> Dict[str, object]:
+    """Flatten a report into the JSON-friendly row the JSONL sink writes."""
+    return {
+        "device_id": report.device_id,
+        "collection_time": report.collection_time,
+        "status": report.status.value,
+        "measurements": report.measurement_count,
+        "freshness": report.freshness,
+        "missing_intervals": report.missing_intervals,
+        "anomalies": list(report.anomalies),
+        "infected_timestamps": report.infected_timestamps,
+    }
+
+
+class JsonlSink(ReportSink):
+    """Append one JSON line per report to a file or file-like object."""
+
+    def __init__(self, target: Union[str, IO[str]]) -> None:
+        if isinstance(target, str):
+            self._stream: IO[str] = open(target, "a", encoding="utf-8")
+            self._owns_stream = True
+        else:
+            self._stream = target
+            self._owns_stream = False
+        self.lines_written = 0
+
+    def emit(self, report: VerificationReport) -> None:
+        json.dump(report_to_row(report), self._stream, sort_keys=True)
+        self._stream.write("\n")
+        self.lines_written += 1
+
+    def close(self) -> None:
+        self._stream.flush()
+        if self._owns_stream:
+            self._stream.close()
+
+
+@dataclass
+class FleetHealth:
+    """Aggregate health of a fleet across one or more collection rounds."""
+
+    reports_total: int = 0
+    measurements_verified: int = 0
+    status_counts: Dict[str, int] = field(
+        default_factory=lambda: {status.value: 0 for status in DeviceStatus})
+    devices_seen: Set[str] = field(default_factory=set)
+    flagged_devices: Set[str] = field(default_factory=set)
+    missing_intervals_total: int = 0
+    _freshness_sum: float = 0.0
+    _freshness_count: int = 0
+
+    def record(self, report: VerificationReport) -> None:
+        """Fold one report into the aggregate."""
+        self.reports_total += 1
+        self.measurements_verified += report.measurement_count
+        self.status_counts[report.status.value] += 1
+        self.devices_seen.add(report.device_id)
+        if report.detected_infection():
+            self.flagged_devices.add(report.device_id)
+        self.missing_intervals_total += report.missing_intervals
+        if report.freshness is not None:
+            self._freshness_sum += report.freshness
+            self._freshness_count += 1
+
+    # ------------------------------------------------------------------
+    # Derived metrics
+    # ------------------------------------------------------------------
+    @property
+    def devices_total(self) -> int:
+        """Number of distinct devices that produced at least one report."""
+        return len(self.devices_seen)
+
+    @property
+    def healthy_fraction(self) -> float:
+        """Fraction of reports that verified fully healthy."""
+        if not self.reports_total:
+            return 0.0
+        return self.status_counts[DeviceStatus.HEALTHY.value] / \
+            self.reports_total
+
+    @property
+    def mean_freshness(self) -> Optional[float]:
+        """Mean freshness over reports that carried measurements."""
+        if not self._freshness_count:
+            return None
+        return self._freshness_sum / self._freshness_count
+
+    def count(self, status: DeviceStatus) -> int:
+        """Number of reports with the given status."""
+        return self.status_counts[status.value]
+
+    def summary(self) -> str:
+        """Multi-line, human-readable fleet-health digest."""
+        freshness = "n/a" if self.mean_freshness is None \
+            else f"{self.mean_freshness:.1f}s"
+        lines = [
+            f"fleet health: {self.devices_total} device(s), "
+            f"{self.reports_total} report(s), "
+            f"{self.measurements_verified} measurement(s) verified",
+            "  status: " + ", ".join(
+                f"{status}={count}"
+                for status, count in sorted(self.status_counts.items())
+                if count),
+            f"  healthy fraction: {self.healthy_fraction:.1%}, "
+            f"mean freshness: {freshness}, "
+            f"missing intervals: {self.missing_intervals_total}",
+        ]
+        if self.flagged_devices:
+            flagged = ", ".join(sorted(self.flagged_devices)[:8])
+            if len(self.flagged_devices) > 8:
+                flagged += ", ..."
+            lines.append(f"  flagged devices: {flagged}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"FleetHealth(devices={self.devices_total}, "
+                f"reports={self.reports_total}, "
+                f"healthy_fraction={self.healthy_fraction:.3f}, "
+                f"flagged={len(self.flagged_devices)})")
+
+
+class FleetHealthSink(ReportSink):
+    """Fold reports into a :class:`FleetHealth` without retaining them."""
+
+    def __init__(self, health: Optional[FleetHealth] = None) -> None:
+        self.health = health if health is not None else FleetHealth()
+
+    def emit(self, report: VerificationReport) -> None:
+        self.health.record(report)

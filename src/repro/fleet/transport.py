@@ -1,0 +1,272 @@
+"""Transports: how collection requests reach provers and responses return.
+
+Every transport speaks the canonical wire encoding from
+:mod:`repro.core.protocol`, so the *same* fleet-collection code runs:
+
+* in-process (:class:`InProcessTransport`) — direct request/response
+  exchange for fast experiments and unit tests;
+* over the simulated packet network (:class:`SimulatedNetworkTransport`)
+  — every device hangs off the verifier in a star of lossy, latency-
+  bearing UDP links, delivery driven by the event engine;
+* over a swarm relay tree (:class:`SwarmRelayTransport`) — devices
+  forward each other's traffic towards a gateway, LISA-α style
+  (Section 6), so most devices are several hops from the verifier.
+
+The contract is deliberately tiny: ``register`` a provisioned device,
+then ``exchange_many`` a batch of encoded requests for encoded
+responses (``None`` marks a device that never answered — lost packets,
+partitions, or a dead device).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Mapping, Optional
+
+from repro.core.protocol import (
+    CollectRequest,
+    OnDemandRequest,
+    ProtocolDecodeError,
+    decode_request,
+)
+from repro.core.prover import ErasmusProver
+from repro.fleet.profiles import ProvisionedDevice
+from repro.net.link import Link
+from repro.net.network import Network
+from repro.net.node import NetworkNode
+from repro.sim.engine import SimulationEngine
+
+
+def serve_request(prover: ErasmusProver, payload: bytes,
+                  time: Optional[float] = None) -> bytes:
+    """Decode one request, serve it on the prover, encode the response.
+
+    This is the prover-side dispatch shared by every transport: plain
+    collections go to :meth:`ErasmusProver.handle_collect`, ERASMUS+OD
+    requests to :meth:`ErasmusProver.handle_ondemand`.
+    """
+    request = decode_request(payload)
+    if isinstance(request, CollectRequest):
+        return prover.handle_collect(request).encode()
+    assert isinstance(request, OnDemandRequest)
+    return prover.handle_ondemand(request, time=time).encode()
+
+
+class Transport(abc.ABC):
+    """Bidirectional request/response channel between verifier and fleet."""
+
+    #: Short name used in experiment tables and traces.
+    name = "abstract"
+
+    @abc.abstractmethod
+    def register(self, device: ProvisionedDevice) -> None:
+        """Attach one provisioned device to this transport."""
+
+    @abc.abstractmethod
+    def exchange(self, device_id: str, payload: bytes) -> Optional[bytes]:
+        """Send one encoded request; return the encoded response or ``None``."""
+
+    def exchange_many(self, requests: Mapping[str, bytes]
+                      ) -> Dict[str, Optional[bytes]]:
+        """Exchange a batch of requests (default: sequential round-trips).
+
+        Transports with real in-flight concurrency (the packet network)
+        override this to launch every request before waiting for any
+        response.
+        """
+        return {device_id: self.exchange(device_id, payload)
+                for device_id, payload in requests.items()}
+
+
+class InProcessTransport(Transport):
+    """Zero-latency transport calling provers directly (through the codec).
+
+    Requests and responses still pass through the canonical byte
+    encoding, so anything that works here works unchanged over the
+    simulated network.
+    """
+
+    name = "in-process"
+
+    def __init__(self, engine: Optional[SimulationEngine] = None) -> None:
+        self.engine = engine
+        self._provers: Dict[str, ErasmusProver] = {}
+
+    def register(self, device: ProvisionedDevice) -> None:
+        if device.device_id in self._provers:
+            raise ValueError(f"duplicate device id {device.device_id!r}")
+        self._provers[device.device_id] = device.prover
+
+    def exchange(self, device_id: str, payload: bytes) -> Optional[bytes]:
+        try:
+            prover = self._provers[device_id]
+        except KeyError as exc:
+            raise KeyError(f"device {device_id!r} is not registered") from exc
+        time = self.engine.now if self.engine is not None else None
+        try:
+            return serve_request(prover, payload, time=time)
+        except ProtocolDecodeError:
+            # A prover keeps silence on garbage rather than crashing the
+            # collection round; the verifier reports the device NO_DATA.
+            return None
+
+
+#: Node name the verifier end of a networked transport uses.
+VERIFIER_NODE = "verifier"
+
+
+class SimulatedNetworkTransport(Transport):
+    """Collections over the :mod:`repro.net` packet network.
+
+    Devices are joined to the verifier in a star topology of UDP-style
+    links; requests and responses travel as packets through the event
+    engine, accumulating latency, serialization delay and (optionally)
+    loss.  ``exchange_many`` launches the whole batch before draining
+    the engine, so per-device round-trips overlap exactly as they would
+    on a real network.
+    """
+
+    name = "simulated-network"
+
+    def __init__(self, engine: SimulationEngine, latency: float = 0.005,
+                 bandwidth_bps: float = 10_000_000.0,
+                 loss_probability: float = 0.0,
+                 round_timeout: float = 30.0, seed: int = 0) -> None:
+        if round_timeout <= 0:
+            raise ValueError("round timeout must be positive")
+        self.engine = engine
+        self.latency = latency
+        self.bandwidth_bps = bandwidth_bps
+        self.loss_probability = loss_probability
+        self.round_timeout = round_timeout
+        self.network = Network(engine, seed=seed)
+        self.network.add_node(
+            NetworkNode(VERIFIER_NODE, on_receive=self._verifier_receives))
+        self._provers: Dict[str, ErasmusProver] = {}
+        self._responses: Dict[str, bytes] = {}
+        # Monotonic round counter carried in the packet kind so that a
+        # response still in flight when a round times out cannot be
+        # mistaken for an answer to the *next* round's request.
+        self._round = 0
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def _attachment_point(self, device_id: str) -> str:
+        """Node the new device links to (the verifier, in a star)."""
+        del device_id
+        return VERIFIER_NODE
+
+    def register(self, device: ProvisionedDevice) -> None:
+        device_id = device.device_id
+        if device_id in self._provers:
+            raise ValueError(f"duplicate device id {device_id!r}")
+        self._provers[device_id] = device.prover
+        self.network.add_node(
+            NetworkNode(device_id, on_receive=self._prover_receives))
+        self.network.add_link(Link(
+            self._attachment_point(device_id), device_id,
+            latency=self.latency, bandwidth_bps=self.bandwidth_bps,
+            loss_probability=self.loss_probability))
+
+    # ------------------------------------------------------------------
+    # Packet handlers
+    # ------------------------------------------------------------------
+    def _prover_receives(self, node: NetworkNode, packet, time: float) -> None:
+        prover = self._provers[node.name]
+        try:
+            response = serve_request(prover, packet.payload, time=time)
+        except ProtocolDecodeError:
+            return
+        # Echo the request's round tag so the verifier can discard
+        # responses that arrive after their round already timed out.
+        round_tag = packet.kind.rpartition("/")[2]
+        node.send(VERIFIER_NODE, response,
+                  kind=f"attestation-response/{round_tag}")
+
+    def _verifier_receives(self, _node: NetworkNode, packet,
+                           _time: float) -> None:
+        if packet.kind.rpartition("/")[2] != str(self._round):
+            return  # stale response from a timed-out earlier round
+        self._responses[packet.source] = packet.payload
+
+    # ------------------------------------------------------------------
+    # Exchange
+    # ------------------------------------------------------------------
+    def exchange(self, device_id: str, payload: bytes) -> Optional[bytes]:
+        return self.exchange_many({device_id: payload})[device_id]
+
+    def exchange_many(self, requests: Mapping[str, bytes]
+                      ) -> Dict[str, Optional[bytes]]:
+        for device_id in requests:
+            if device_id not in self._provers:
+                raise KeyError(f"device {device_id!r} is not registered")
+        self._responses.clear()
+        self._round += 1
+        verifier_node = self.network.node(VERIFIER_NODE)
+        for device_id, payload in requests.items():
+            verifier_node.send(device_id, payload,
+                               kind=f"attestation-request/{self._round}")
+
+        # Drain the engine event by event so the virtual clock stops at
+        # the last delivery instead of jumping to the timeout.  Once no
+        # packet is in flight any missing response can never arrive
+        # (lost packets are not retransmitted), so stop immediately
+        # rather than burning the whole timeout stepping unrelated
+        # events such as prover self-measurements.  Only this round's
+        # devices can enter _responses (round-tagged), so a length
+        # check decides completion in O(1) per event.
+        deadline = self.engine.now + self.round_timeout
+        while len(self._responses) < len(requests) and \
+                self.network.in_flight_packets > 0:
+            next_time = self.engine.peek_time()
+            if next_time is None or next_time > deadline:
+                break
+            self.engine.step()
+        return {device_id: self._responses.get(device_id)
+                for device_id in requests}
+
+
+class SwarmRelayTransport(SimulatedNetworkTransport):
+    """Collections relayed hop by hop through a swarm tree (Section 6).
+
+    Devices attach to the gateway in a ``fanout``-ary tree in
+    registration order; packets to and from deep devices are forwarded
+    by the intermediate devices.  Because an ERASMUS collection is just
+    a buffer read, the extra hops add only network delay — the property
+    that keeps collections viable in swarms where on-demand attestation
+    already fails.
+    """
+
+    name = "swarm-relay"
+
+    def __init__(self, engine: SimulationEngine, fanout: int = 4,
+                 hop_latency: float = 0.01,
+                 bandwidth_bps: float = 10_000_000.0,
+                 loss_probability: float = 0.0,
+                 round_timeout: float = 60.0, seed: int = 0) -> None:
+        if fanout < 1:
+            raise ValueError("fanout must be at least 1")
+        super().__init__(engine, latency=hop_latency,
+                         bandwidth_bps=bandwidth_bps,
+                         loss_probability=loss_probability,
+                         round_timeout=round_timeout, seed=seed)
+        self.fanout = fanout
+        self._ordered_ids: list[str] = []
+
+    def _attachment_point(self, device_id: str) -> str:
+        # The first `fanout` devices parent to the gateway; device i
+        # then parents to device (i // fanout) - 1, giving every relay
+        # exactly `fanout` children.
+        index = len(self._ordered_ids)
+        self._ordered_ids.append(device_id)
+        if index < self.fanout:
+            return VERIFIER_NODE
+        return self._ordered_ids[(index // self.fanout) - 1]
+
+    def depth_of(self, device_id: str) -> int:
+        """Number of hops between the device and the gateway."""
+        path = self.network.path(VERIFIER_NODE, device_id)
+        if path is None:
+            raise KeyError(f"device {device_id!r} is not reachable")
+        return len(path) - 1

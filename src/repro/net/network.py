@@ -32,6 +32,10 @@ class Network:
         self.delivered_packets = 0
         self.dropped_packets = 0
         self.unroutable_packets = 0
+        #: Packets admitted but not yet delivered or dropped.  Lets
+        #: callers draining the engine stop as soon as nothing they are
+        #: waiting for can still arrive.
+        self.in_flight_packets = 0
 
     # ------------------------------------------------------------------
     # Topology management
@@ -112,6 +116,7 @@ class Network:
         if route is None or len(route) < 2:
             self.unroutable_packets += 1
             return False
+        self.in_flight_packets += 1
         self._schedule_hop(packet, route, hop_index=0, time=self.engine.now)
         return True
 
@@ -122,15 +127,20 @@ class Network:
         if link is None:
             # The topology changed underneath the packet: it is lost.
             self.dropped_packets += 1
+            self.in_flight_packets -= 1
             return
         if self._random.random() < link.loss_probability:
             self.dropped_packets += 1
+            self.in_flight_packets -= 1
             return
         arrival = time + link.transfer_delay(packet)
 
         def _arrive(_event) -> None:
             if hop_index + 2 >= len(route):
                 self.delivered_packets += 1
+                # Count delivery before the handler runs: the handler
+                # may transmit a reply, which is a new in-flight packet.
+                self.in_flight_packets -= 1
                 self._nodes[route[-1]].deliver(
                     packet.forwarded(route[-1]), self.engine.now)
             else:

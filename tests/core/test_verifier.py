@@ -95,7 +95,7 @@ def test_allowed_missing_policy_tolerates_gaps(erasmus_setup, config, key):
     prover.store.overwrite_slot(slot, None)
 
     lenient_verifier = ErasmusVerifier(config, allowed_missing=2)
-    healthy = strict_verifier._healthy_digests[prover.device_id]
+    healthy = strict_verifier.healthy_digests(prover.device_id)
     lenient_verifier.enroll(prover.device_id, key, healthy)
     response = prover.handle_collect(lenient_verifier.create_collect_request())
     report = lenient_verifier.verify_collection(prover.device_id, response,

@@ -1,0 +1,248 @@
+"""Tests for the FleetVerifier service, sinks and the Fleet facade."""
+
+import io
+import json
+
+import pytest
+
+from repro.core import DeviceStatus
+from repro.fleet import (
+    DeviceProfile,
+    Fleet,
+    FleetHealth,
+    FleetHealthSink,
+    JsonlSink,
+    MemorySink,
+)
+
+FIRMWARE = b"service-test-firmware"
+MALWARE = b"service-test-implant!"
+
+
+def small_profile() -> DeviceProfile:
+    return DeviceProfile.smartplus(firmware=FIRMWARE, application_size=256,
+                                   measurement_interval=10.0,
+                                   collection_interval=60.0,
+                                   buffer_slots=8)
+
+
+@pytest.fixture
+def fleet() -> Fleet:
+    return Fleet.provision(small_profile(), 20, master_secret=b"master")
+
+
+def test_collect_all_produces_one_report_per_device(fleet):
+    fleet.run_until(60.0)
+    reports = fleet.collect_all()
+    assert len(reports) == 20
+    assert {report.device_id for report in reports} == set(fleet.device_ids())
+    assert all(report.status is DeviceStatus.HEALTHY for report in reports)
+    assert fleet.verifier.rounds_completed == 1
+
+
+def test_staggered_schedules_spread_measurements(fleet):
+    fleet.run_until(60.0)
+    timestamps = set()
+    for device in fleet.devices():
+        timestamps.update(m.timestamp
+                          for m in device.prover.store.all_measurements())
+    # Without staggering every device would measure at the same 6
+    # instants; with it the fleet spreads over the whole interval.
+    assert len(timestamps) > 6 * 3
+
+
+def test_batched_and_threaded_round_matches_serial(fleet):
+    fleet.run_until(60.0)
+    serial = fleet.collect_all()
+    batched = fleet.collect_all(batch_size=7, max_workers=4)
+    assert [r.device_id for r in serial] == [r.device_id for r in batched]
+    assert all(report.status is DeviceStatus.HEALTHY for report in batched)
+
+
+def test_transient_infection_flagged_in_round(fleet):
+    fleet.run_until(20.0)
+    fleet.device("dev-0003").load_application(MALWARE)
+    fleet.run_until(40.0)
+    fleet.device("dev-0003").load_application(FIRMWARE)
+    fleet.run_until(60.0)
+    reports = {report.device_id: report for report in fleet.collect_all()}
+    assert reports["dev-0003"].status is DeviceStatus.INFECTED
+    assert reports["dev-0003"].infected_timestamps
+    assert reports["dev-0000"].status is DeviceStatus.HEALTHY
+    assert fleet.health.flagged_devices == {"dev-0003"}
+
+
+def test_second_round_only_judges_new_measurements(fleet):
+    fleet.run_until(60.0)
+    first = fleet.collect_all()
+    fleet.run_until(120.0)
+    second = fleet.collect_all()
+    assert all(report.status is DeviceStatus.HEALTHY for report in first)
+    assert all(report.status is DeviceStatus.HEALTHY for report in second)
+    assert fleet.health.reports_total == 40
+
+
+def test_device_unknown_to_transport_raises(fleet):
+    fleet.run_until(60.0)
+    # Enroll a device that exists for the verifier but not the transport.
+    ghost = small_profile().provision("ghost", master_secret=b"master")
+    fleet.verifier.enroll_device(ghost)
+    with pytest.raises(KeyError):
+        fleet.collect_all()
+
+
+def test_unresponsive_devices_reported_no_data():
+    fleet = Fleet.provision(
+        small_profile(), 4, master_secret=b"master",
+        transport="simulated-network",
+        transport_options={"loss_probability": 1.0, "round_timeout": 2.0})
+    fleet.run_until(60.0)
+    reports = fleet.collect_all()
+    assert len(reports) == 4
+    assert all(report.status is DeviceStatus.NO_DATA for report in reports)
+    assert all("no response received" in report.anomalies[0]
+               for report in reports)
+    assert reports[0].freshness is None
+    assert reports[0].freshness_label == "n/a"
+
+
+def test_sinks_receive_streamed_reports():
+    memory = MemorySink()
+    stream = io.StringIO()
+    jsonl = JsonlSink(stream)
+    fleet = Fleet.provision(small_profile(), 5, master_secret=b"master",
+                            sinks=(memory, jsonl))
+    fleet.run_until(60.0)
+    fleet.collect_all()
+    assert len(memory.reports) == 5
+    assert jsonl.lines_written == 5
+    rows = [json.loads(line) for line in stream.getvalue().splitlines()]
+    assert {row["device_id"] for row in rows} == set(fleet.device_ids())
+    assert all(row["status"] == "healthy" for row in rows)
+    assert memory.for_device("dev-0002")
+
+
+def test_jsonl_sink_writes_file(tmp_path):
+    path = tmp_path / "reports.jsonl"
+    sink = JsonlSink(str(path))
+    fleet = Fleet.provision(small_profile(), 3, master_secret=b"master",
+                            sinks=(sink,))
+    fleet.run_until(60.0)
+    fleet.collect_all()
+    fleet.close()
+    lines = path.read_text().splitlines()
+    assert len(lines) == 3
+    assert json.loads(lines[0])["measurements"] > 0
+
+
+def test_fleet_health_aggregation():
+    health = FleetHealth()
+    sink = FleetHealthSink(health)
+    fleet = Fleet.provision(small_profile(), 8, master_secret=b"master",
+                            sinks=(sink,))
+    fleet.run_until(20.0)
+    fleet.device("dev-0001").load_application(MALWARE)
+    fleet.run_until(60.0)
+    fleet.collect_all()
+    assert health.devices_total == 8
+    assert health.count(DeviceStatus.INFECTED) == 1
+    assert health.healthy_fraction == pytest.approx(7 / 8)
+    assert health.mean_freshness is not None
+    assert "flagged devices: dev-0001" in health.summary()
+
+
+def test_empty_fleet_health_summary_renders():
+    health = FleetHealth()
+    assert health.mean_freshness is None
+    assert health.healthy_fraction == 0.0
+    assert "0 device(s)" in health.summary()
+
+
+def test_same_scenario_runs_on_every_named_transport():
+    outcomes = {}
+    for transport in ("in-process", "simulated-network", "swarm-relay"):
+        fleet = Fleet.provision(small_profile(), 10,
+                                master_secret=b"master",
+                                transport=transport)
+        fleet.run_until(60.0)
+        reports = fleet.collect_all()
+        outcomes[transport] = sorted(
+            (report.device_id, report.status.value,
+             report.measurement_count) for report in reports)
+    assert outcomes["in-process"] == outcomes["simulated-network"]
+    assert outcomes["in-process"] == outcomes["swarm-relay"]
+
+
+def test_unknown_transport_name_rejected():
+    with pytest.raises(ValueError):
+        Fleet.provision(small_profile(), 2, master_secret=b"master",
+                        transport="carrier-pigeon")
+
+
+def test_verifier_refuses_unenrolled_device(fleet):
+    with pytest.raises(KeyError):
+        fleet.verifier.collect_all(fleet.transport, 0.0,
+                                   device_ids=["nobody"])
+
+
+def test_last_collection_time_tracked(fleet):
+    fleet.run_until(60.0)
+    fleet.collect_all()
+    assert fleet.verifier.last_collection_time("dev-0000") == \
+        pytest.approx(60.0)
+    assert fleet.verifier.last_collection_time("missing") is None
+
+
+def test_lossy_network_never_misflags_healthy_devices():
+    """Regression: lost responses must not corrupt the round for others.
+
+    A partially lossy round used to (a) drain the engine all the way to
+    the transport timeout, jumping the fleet clock and letting provers
+    self-measure mid-round, and (b) verify those batches against the
+    round-start time — mass-flagging perfectly healthy devices as
+    TAMPERED with "timestamped in the future".
+    """
+    fleet = Fleet.provision(
+        small_profile(), 30, master_secret=b"master",
+        transport="simulated-network",
+        transport_options={"loss_probability": 0.2, "round_timeout": 30.0,
+                           "seed": 7})
+    fleet.run_until(60.0)
+    reports = fleet.collect_all(batch_size=10)
+    statuses = {report.status for report in reports}
+    # Every device is either verified healthy or went unanswered —
+    # never tampered/infected.
+    assert statuses <= {DeviceStatus.HEALTHY, DeviceStatus.NO_DATA}
+    assert DeviceStatus.NO_DATA in statuses  # losses did occur
+    # The clock advanced only by actual round-trip time, not by the
+    # 30 s timeout per batch.
+    assert fleet.now < 61.0
+
+
+def test_explicit_collection_time_still_honoured():
+    fleet = Fleet.provision(small_profile(), 4, master_secret=b"master")
+    fleet.run_until(60.0)
+    reports = fleet.collect_all(collection_time=59.5)
+    assert all(report.collection_time == 59.5 for report in reports)
+
+
+def test_engineless_transport_requires_collection_time():
+    from repro.fleet import FleetVerifier, InProcessTransport
+
+    profile = small_profile()
+    device = profile.provision("lone", master_secret=b"master")
+    transport = InProcessTransport()  # no engine attached
+    transport.register(device)
+    verifier = FleetVerifier(profile.config)
+    verifier.enroll_device(device)
+    with pytest.raises(ValueError):
+        verifier.collect_all(transport)
+
+
+def test_profile_factories_reject_config_plus_overrides():
+    from repro.core import ErasmusConfig
+    config = ErasmusConfig(measurement_interval=10.0)
+    with pytest.raises(ValueError):
+        DeviceProfile.smartplus(config=config, measurement_interval=30.0)
+    with pytest.raises(ValueError):
+        DeviceProfile.hydra(config=config, buffer_slots=4)

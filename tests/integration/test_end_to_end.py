@@ -136,3 +136,70 @@ def test_collection_over_simulated_network(key, firmware):
     assert reports[0].status is DeviceStatus.HEALTHY
     assert reports[0].measurement_count == config.measurements_per_collection
     assert network.delivered_packets == 2
+
+
+# ----------------------------------------------------------------------
+# Fleet API end-to-end (the same layers driven through repro.fleet)
+# ----------------------------------------------------------------------
+
+def _fleet_profile(firmware):
+    from repro.fleet import DeviceProfile
+    return DeviceProfile.smartplus(firmware=firmware, application_size=512,
+                                   measurement_interval=10.0,
+                                   collection_interval=60.0,
+                                   buffer_slots=16)
+
+
+@pytest.mark.parametrize("transport", ["in-process", "simulated-network"])
+def test_fleet_round_matches_hand_wired_flow(key, firmware, transport):
+    """The facade reproduces the hand-wired prover/verifier outcome."""
+    from repro.fleet import Fleet
+    del key
+    fleet = Fleet.provision(_fleet_profile(firmware), 25,
+                            master_secret=b"integration-master",
+                            transport=transport)
+    fleet.run_until(120.0)
+    reports = fleet.collect_all()
+    assert len(reports) == 25
+    assert all(report.status is DeviceStatus.HEALTHY for report in reports)
+    assert all(report.measurement_count >= 6 for report in reports)
+    assert fleet.health.healthy_fraction == 1.0
+
+
+def test_fleet_detects_transient_infection_like_legacy_api(key, firmware,
+                                                           malware_image):
+    """Mobile malware caught through the facade exactly as in build_stack."""
+    from repro.fleet import Fleet
+    del key
+    fleet = Fleet.provision(_fleet_profile(firmware), 10,
+                            master_secret=b"integration-master")
+    fleet.run_until(30.0)
+    fleet.device("dev-0004").load_application(malware_image)
+    fleet.run_until(50.0)
+    fleet.device("dev-0004").load_application(firmware)
+    fleet.run_until(60.0)
+    reports = {report.device_id: report for report in fleet.collect_all()}
+    assert reports["dev-0004"].status is DeviceStatus.INFECTED
+    assert all(report.status is DeviceStatus.HEALTHY
+               for device_id, report in reports.items()
+               if device_id != "dev-0004")
+
+
+def test_legacy_shim_and_fleet_core_agree(key, firmware):
+    """Old ErasmusVerifier and the fleet service verify identically."""
+    from repro.fleet import FleetVerifier
+
+    config, _arch, prover, legacy_verifier, engine = build_stack(key, firmware)
+    engine.run(until=60.0)
+
+    fleet_verifier = FleetVerifier(config)
+    fleet_verifier.enroll("device", key,
+                          legacy_verifier.healthy_digests("device"))
+    response = prover.handle_collect(legacy_verifier.create_collect_request())
+
+    legacy_report = legacy_verifier.verify_collection("device", response, 60.0)
+    fleet_report = fleet_verifier.verify_collection("device", response, 60.0)
+    assert legacy_report.status is fleet_report.status
+    assert legacy_report.measurement_count == fleet_report.measurement_count
+    assert legacy_report.freshness == fleet_report.freshness
+    assert legacy_report.anomalies == fleet_report.anomalies

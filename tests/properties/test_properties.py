@@ -101,3 +101,34 @@ def test_measurement_wire_format_roundtrip(timestamp, digest, tag):
     assert decoded.digest == digest
     assert decoded.tag == tag
     assert abs(decoded.timestamp - timestamp) <= 1e-6
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+       st.binary(min_size=0, max_size=64),
+       st.binary(min_size=0, max_size=64))
+def test_measurement_wire_roundtrip_is_lossless(timestamp, digest, tag):
+    """Encoding then decoding a record preserves every transmitted field."""
+    from repro.core import Measurement
+    original = Measurement(timestamp=timestamp, digest=digest, tag=tag)
+    decoded = Measurement.decode(original.encode())
+    assert decoded.digest == digest
+    assert decoded.tag == tag
+    assert abs(decoded.timestamp - timestamp) <= 1e-6
+    assert decoded.size_bytes == original.size_bytes
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(
+    st.floats(min_value=0.0, max_value=1e5, allow_nan=False),
+    st.binary(min_size=1, max_size=48),
+    st.binary(min_size=1, max_size=48)), max_size=10))
+def test_collect_response_preserves_order_and_bytes(records):
+    """The response codec is a faithful, order-preserving container."""
+    from repro.core import CollectResponse, Measurement
+    measurements = [Measurement(timestamp=t, digest=d, tag=g)
+                    for t, d, g in records]
+    decoded = CollectResponse.decode(
+        CollectResponse(measurements=measurements).encode())
+    assert [(m.digest, m.tag) for m in decoded.measurements] == \
+        [(m.digest, m.tag) for m in measurements]
