@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Restartable verifier: crash mid-deployment, restore, keep attesting.
+
+The verifier's record of each device — enrollment key, healthy digest,
+newest-seen timestamp — *is* the security state of an ERASMUS
+deployment: lose it and a rebooted verifier cannot tell a healthy
+prover from one that went silent.  This example exercises the
+`repro.store` persistence subsystem end to end:
+
+1. provision 500 SMART+ devices with a :class:`JsonlStore` backing the
+   verifier (snapshot + write-ahead journal in a state directory);
+2. run one collection round — every enrollment advance and report is
+   committed through the store, and the round checkpoints a snapshot;
+3. "crash": throw the verifier object away (devices keep running, two
+   of them stall and stop producing fresh measurements);
+4. restore a brand-new :class:`FleetVerifier` from the state directory
+   and check it reproduces the pre-crash fleet health byte-for-byte;
+5. collect again with the restored verifier — the stalled devices must
+   be flagged, the rest must verify healthy against their *pre-crash*
+   last-seen timestamps.
+
+Run with:  python examples/restartable_verifier.py
+"""
+
+import shutil
+import tempfile
+
+from repro.fleet import DeviceProfile, Fleet, FleetVerifier
+from repro.store import JsonlStore
+
+FLEET_SIZE = 500
+STALLED = ("dev-0042", "dev-0311")
+FIRMWARE = b"pump-firmware-v7" + bytes(240)
+MASTER_SECRET = b"factory-provisioning-secret"
+
+
+def main() -> None:
+    profile = DeviceProfile.smartplus(firmware=FIRMWARE,
+                                      application_size=512,
+                                      measurement_interval=60.0,
+                                      collection_interval=600.0,
+                                      buffer_slots=16)
+    state_dir = tempfile.mkdtemp(prefix="erasmus-verifier-state-")
+    try:
+        fleet = Fleet.provision(profile, FLEET_SIZE,
+                                master_secret=MASTER_SECRET,
+                                store=JsonlStore(state_dir))
+
+        # --- round 1: the deployment before the crash -----------------
+        fleet.run_until(600.0)
+        first = fleet.collect_all()
+        health_before = fleet.verifier.health.to_row()
+        snapshot_before = fleet.verifier.store.state_bytes()
+        last_seen_before = {
+            device_id: fleet.verifier.last_seen(device_id)
+            for device_id in fleet.device_ids()}
+        healthy_first = sum(1 for report in first
+                            if not report.detected_infection())
+        print(f"round 1: {len(first)} reports, {healthy_first} healthy; "
+              f"state in {state_dir}")
+
+        # Two devices stall: from now on every self-measurement aborts,
+        # so their buffers stop gaining fresh records.
+        for device_id in STALLED:
+            fleet.device(device_id).prover.critical_task_active = \
+                lambda _time: True
+
+        # --- the crash ------------------------------------------------
+        # The verifier object (enrollment dict, health aggregate) dies
+        # with the process; only the store directory survives.  The
+        # devices, of course, keep running.
+        del fleet.verifier
+        fleet.run_until(1200.0)
+
+        # --- restore --------------------------------------------------
+        restored = FleetVerifier.restore(profile.config,
+                                         JsonlStore(state_dir))
+        if restored.health.to_row() != health_before:
+            raise SystemExit("restored FleetHealth differs from pre-crash")
+        if restored.device_count != FLEET_SIZE:
+            raise SystemExit("restored verifier lost enrollments")
+        mismatched = [device_id for device_id in last_seen_before
+                      if restored.last_seen(device_id)
+                      != last_seen_before[device_id]]
+        if mismatched:
+            raise SystemExit(
+                f"last-seen drift after restore: {mismatched[:5]}")
+        restored.checkpoint()
+        if restored.store.state_bytes() != snapshot_before:
+            raise SystemExit("re-checkpoint is not byte-identical")
+        print(f"restored: {restored.device_count} enrollments, "
+              f"health and last-seen timestamps intact, "
+              f"re-checkpoint byte-identical")
+
+        # --- round 2: the restored verifier carries on ----------------
+        second = restored.collect_all(fleet.transport)
+        flagged = sorted(report.device_id for report in second
+                         if report.detected_infection())
+        if flagged != sorted(STALLED):
+            raise SystemExit(f"expected {sorted(STALLED)} flagged, "
+                             f"got {flagged}")
+        example = next(report for report in second
+                       if report.device_id == STALLED[0])
+        print(f"round 2: {len(second)} reports, stalled devices flagged: "
+              f"{flagged}")
+        print(f"example report — {example.summary()}")
+        print(restored.health.summary())
+    finally:
+        shutil.rmtree(state_dir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

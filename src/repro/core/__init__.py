@@ -43,6 +43,7 @@ from repro.core.storage import MeasurementStore
 from repro.core.verification import (
     BaseVerifier,
     DeviceStatus,
+    DuplicateEnrollmentError,
     Enrollment,
     MeasurementVerdict,
     VerificationCore,
@@ -55,6 +56,7 @@ __all__ = [
     "CollectRequest",
     "CollectResponse",
     "DeviceStatus",
+    "DuplicateEnrollmentError",
     "Enrollment",
     "ErasmusConfig",
     "ErasmusProver",

@@ -20,7 +20,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Dict, Iterable, List, Mapping, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store.base import StateStore
 
 from repro.arch.base import encode_timestamp
 from repro.core.config import ErasmusConfig
@@ -44,6 +47,16 @@ class DeviceStatus(enum.Enum):
     NO_DATA = "no_data"
 
 
+class DuplicateEnrollmentError(ValueError):
+    """A device was enrolled twice without an explicit re-enrollment.
+
+    Silently replacing an enrollment would discard the device's
+    last-seen timestamp and whitelisted digests — on a fleet verifier
+    that is almost always an operator mistake, so it must be opted into
+    with ``re_enroll=True``.
+    """
+
+
 @dataclass(frozen=True)
 class MeasurementVerdict:
     """Verdict on a single received measurement."""
@@ -61,7 +74,17 @@ class MeasurementVerdict:
 
 @dataclass
 class VerificationReport:
-    """Outcome of verifying one collection from one prover."""
+    """Outcome of verifying one collection from one prover.
+
+    A report normally carries its per-measurement verdicts; a report
+    restored from a persisted row (:meth:`from_row`) carries none, so
+    the derived counters fall back to the ``restored`` row written by
+    :meth:`to_row` — :meth:`measurement_count`,
+    :meth:`infected_timestamps` and :meth:`newest_timestamp` stay
+    correct either way, which is what lets a
+    :class:`repro.store.StateStore` replay reports into a
+    :class:`repro.fleet.FleetHealth` aggregate after a restart.
+    """
 
     device_id: str
     collection_time: float
@@ -70,17 +93,69 @@ class VerificationReport:
     anomalies: List[str] = field(default_factory=list)
     freshness: Optional[float] = None
     missing_intervals: int = 0
+    restored: Optional[Dict[str, object]] = field(
+        default=None, repr=False, compare=False)
 
     @property
     def measurement_count(self) -> int:
         """Number of measurements received in this collection."""
-        return len(self.verdicts)
+        if self.verdicts or self.restored is None:
+            return len(self.verdicts)
+        return int(self.restored.get("measurements", 0))
 
     @property
     def infected_timestamps(self) -> List[float]:
         """Timestamps at which the prover's state was not a known-good one."""
-        return [verdict.measurement.timestamp for verdict in self.verdicts
-                if verdict.authentic and not verdict.healthy]
+        if self.verdicts or self.restored is None:
+            return [verdict.measurement.timestamp
+                    for verdict in self.verdicts
+                    if verdict.authentic and not verdict.healthy]
+        return [float(t) for t in
+                self.restored.get("infected_timestamps", ())]
+
+    @property
+    def newest_timestamp(self) -> Optional[float]:
+        """Newest measurement timestamp carried by this collection."""
+        if self.verdicts:
+            return max(verdict.measurement.timestamp
+                       for verdict in self.verdicts)
+        if self.restored is not None:
+            value = self.restored.get("newest_timestamp")
+            return None if value is None else float(value)
+        return None
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a stable, JSON-friendly row.
+
+        The row is the canonical persisted form: it is what
+        :class:`repro.fleet.JsonlSink` writes, what every
+        :class:`repro.store.StateStore` journals, and what
+        :meth:`from_row` reverses.  All keys are plain JSON types.
+        """
+        return {
+            "device_id": self.device_id,
+            "collection_time": self.collection_time,
+            "status": self.status.value,
+            "measurements": self.measurement_count,
+            "freshness": self.freshness,
+            "missing_intervals": self.missing_intervals,
+            "anomalies": list(self.anomalies),
+            "infected_timestamps": self.infected_timestamps,
+            "newest_timestamp": self.newest_timestamp,
+        }
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, object]) -> "VerificationReport":
+        """Rebuild a (verdict-free) report from its persisted row."""
+        freshness = row.get("freshness")
+        return cls(
+            device_id=str(row["device_id"]),
+            collection_time=float(row["collection_time"]),
+            status=DeviceStatus(row["status"]),
+            anomalies=[str(item) for item in row.get("anomalies", ())],
+            freshness=None if freshness is None else float(freshness),
+            missing_intervals=int(row.get("missing_intervals", 0)),
+            restored=dict(row))
 
     def detected_infection(self) -> bool:
         """True when this collection exposed malware presence or tampering."""
@@ -149,6 +224,33 @@ class Enrollment:
                           healthy_digests=self.healthy_digests |
                           {bytes(digest)},
                           last_seen=self.last_seen)
+
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a stable, JSON-friendly row.
+
+        Byte fields are hex-encoded and the digest set is sorted, so
+        equal enrollments always serialize to identical rows — the
+        property :class:`repro.store.StateStore` snapshots rely on.
+        """
+        return {
+            "device_id": self.device_id,
+            "key": self.key.hex(),
+            "healthy_digests": sorted(digest.hex()
+                                      for digest in self.healthy_digests),
+            "last_seen": self.last_seen,
+        }
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, object]) -> "Enrollment":
+        """Rebuild an enrollment from its persisted row."""
+        last_seen = row.get("last_seen")
+        return cls(
+            device_id=str(row["device_id"]),
+            key=bytes.fromhex(str(row["key"])),
+            healthy_digests=frozenset(
+                bytes.fromhex(str(digest))
+                for digest in row.get("healthy_digests", ())),
+            last_seen=None if last_seen is None else float(last_seen))
 
 
 class VerificationCore:
@@ -337,12 +439,8 @@ class VerificationCore:
     def advance_last_seen(report: VerificationReport,
                           last_seen: Optional[float]) -> Optional[float]:
         """The newest-seen timestamp after accepting ``report``."""
-        timestamps = [verdict.measurement.timestamp
-                      for verdict in report.verdicts]
-        if not timestamps:
-            return last_seen
-        return max(timestamps, default=last_seen
-                   if last_seen is not None else 0.0)
+        newest = report.newest_timestamp
+        return last_seen if newest is None else newest
 
 
 class BaseVerifier:
@@ -353,15 +451,23 @@ class BaseVerifier:
     this: they keep :class:`Enrollment` records per device, advance the
     newest-seen timestamp after every accepted report, and delegate all
     judgement to the stateless :class:`VerificationCore`.
+
+    ``store`` is an optional :class:`repro.store.StateStore`: every
+    enrollment and every last-seen advance is written through to it, so
+    a store-backed verifier can be rebuilt after a restart (see
+    :meth:`repro.fleet.FleetVerifier.restore`).  ``None`` keeps the
+    historical dict-only behaviour.
     """
 
     def __init__(self, config: ErasmusConfig,
                  schedule_tolerance: float = 0.25,
-                 allowed_missing: int = 0) -> None:
+                 allowed_missing: int = 0,
+                 store: Optional["StateStore"] = None) -> None:
         self.config = config
         self.core = VerificationCore(config,
                                      schedule_tolerance=schedule_tolerance,
                                      allowed_missing=allowed_missing)
+        self.store = store
         self._enrollments: Dict[str, Enrollment] = {}
         self._last_collection_time: Dict[str, float] = {}
 
@@ -387,9 +493,22 @@ class BaseVerifier:
     # ------------------------------------------------------------------
     def enroll(self, device_id: str, key: bytes,
                healthy_digests: Iterable[bytes]) -> None:
-        """Register a prover: its shared key and its known-good states."""
-        self._enrollments[device_id] = Enrollment.create(
-            device_id, key, healthy_digests)
+        """Register a prover: its shared key and its known-good states.
+
+        This is the low-level primitive: it *overwrites* any existing
+        enrollment (resetting ``last_seen`` and the digest whitelist),
+        including in the attached store.  Fleet deployments should use
+        :meth:`repro.fleet.FleetVerifier.enroll_device`, which guards
+        against accidental re-enrollment.
+        """
+        self._set_enrollment(Enrollment.create(device_id, key,
+                                               healthy_digests))
+
+    def _set_enrollment(self, enrollment: Enrollment) -> None:
+        """Install an enrollment and write it through to the store."""
+        self._enrollments[enrollment.device_id] = enrollment
+        if self.store is not None:
+            self.store.save_enrollment(enrollment)
 
     def is_enrolled(self, device_id: str) -> bool:
         """True when the device has been enrolled."""
@@ -399,10 +518,14 @@ class BaseVerifier:
         """The whitelisted software states for one device."""
         return self._enrollment_for(device_id).healthy_digests
 
+    def last_seen(self, device_id: str) -> Optional[float]:
+        """Newest measurement timestamp accepted from one device."""
+        return self._enrollment_for(device_id).last_seen
+
     def add_healthy_digest(self, device_id: str, digest: bytes) -> None:
         """Whitelist an additional software state (e.g. after an update)."""
-        self._enrollments[device_id] = \
-            self._enrollments[device_id].with_digest(digest)
+        self._set_enrollment(self._enrollment_for(device_id)
+                             .with_digest(digest))
 
     def _enrollment_for(self, device_id: str) -> Enrollment:
         try:
@@ -440,13 +563,12 @@ class BaseVerifier:
         per-device state — an empty or unanswered round proves nothing
         about which records already reached the verifier.
         """
-        if not report.verdicts:
+        if not report.measurement_count:
             return
         enrollment = self._enrollments[report.device_id]
         advanced = self.core.advance_last_seen(report, enrollment.last_seen)
         if advanced is not None:
-            self._enrollments[report.device_id] = \
-                enrollment.advanced(advanced)
+            self._set_enrollment(enrollment.advanced(advanced))
         self._last_collection_time[report.device_id] = report.collection_time
 
     def last_collection_time(self, device_id: str) -> Optional[float]:

@@ -25,7 +25,10 @@ with batched collections, transports and report sinks.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.store.base import StateStore
 
 from repro.core.config import ErasmusConfig
 from repro.core.measurement import Measurement
@@ -58,9 +61,10 @@ class ErasmusVerifier(BaseVerifier):
 
     def __init__(self, config: ErasmusConfig,
                  schedule_tolerance: float = 0.25,
-                 allowed_missing: int = 0) -> None:
+                 allowed_missing: int = 0,
+                 store: Optional["StateStore"] = None) -> None:
         super().__init__(config, schedule_tolerance=schedule_tolerance,
-                         allowed_missing=allowed_missing)
+                         allowed_missing=allowed_missing, store=store)
         self.reports: List[VerificationReport] = []
         self._request_counter = 0.0
 

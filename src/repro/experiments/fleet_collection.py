@@ -10,13 +10,21 @@ scaling PRs a fixed yardstick.
 
 from __future__ import annotations
 
+import shutil
+import tempfile
 import time
-from typing import Dict, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.fleet import DeviceProfile, Fleet
+from repro.store import JsonlStore, MemoryStore, SqliteStore, StateStore
 
 DEFAULT_TRANSPORTS: Sequence[str] = ("in-process", "simulated-network",
                                      "swarm-relay")
+
+#: Store backends compared by :func:`run_store_comparison`; ``baseline``
+#: is a plain provision call (the :class:`MemoryStore` default path).
+STORE_BACKENDS: Sequence[str] = ("baseline", "memory", "jsonl", "sqlite")
 
 
 def default_profile() -> DeviceProfile:
@@ -31,20 +39,38 @@ def default_profile() -> DeviceProfile:
 def run_round(transport: str, device_count: int,
               profile: Optional[DeviceProfile] = None,
               horizon: Optional[float] = None,
-              max_workers: Optional[int] = None) -> Dict[str, object]:
-    """One full fleet round over one transport; returns a result row."""
+              max_workers: Optional[int] = None,
+              store_factory: Optional[Callable[[], StateStore]] = None
+              ) -> Dict[str, object]:
+    """One full fleet round over one transport; returns a result row.
+
+    ``store_factory`` builds a fresh :class:`repro.store.StateStore`
+    for this round, so the row includes the full write-through and
+    checkpoint cost of that persistence backend.
+    """
     profile = profile if profile is not None else default_profile()
     if horizon is None:
         horizon = profile.config.collection_interval
+    store = store_factory() if store_factory is not None else None
+    fleet: Optional[Fleet] = None
     started = time.perf_counter()
-    fleet = Fleet.provision(profile, device_count,
-                            master_secret=b"fleet-bench-master-secret",
-                            transport=transport)
-    provisioned = time.perf_counter()
-    fleet.run_until(horizon)
-    measured = time.perf_counter()
-    reports = fleet.collect_all(max_workers=max_workers)
-    finished = time.perf_counter()
+    try:
+        fleet = Fleet.provision(profile, device_count,
+                                master_secret=b"fleet-bench-master-secret",
+                                transport=transport, store=store)
+        provisioned = time.perf_counter()
+        fleet.run_until(horizon)
+        measured = time.perf_counter()
+        reports = fleet.collect_all(max_workers=max_workers)
+        finished = time.perf_counter()
+        sim_round_trip = fleet.now - horizon
+    finally:
+        # Release store handles (journal stream / DB connection) even
+        # when provisioning or the round itself fails mid-way.
+        if fleet is not None:
+            fleet.close()
+        elif store is not None:
+            store.close()
 
     healthy = sum(1 for report in reports if not report.detected_infection())
     wall_time = finished - started
@@ -61,8 +87,91 @@ def run_round(transport: str, device_count: int,
         "collect_devices_per_second":
             device_count / (finished - measured) if finished > measured
             else 0.0,
-        "sim_round_trip_s": fleet.now - horizon,
+        "sim_round_trip_s": sim_round_trip,
     }
+
+
+def _store_factory(backend: str, directory: Path, attempt: int
+                   ) -> Optional[Callable[[], StateStore]]:
+    """A fresh-store factory for one benchmark attempt (or ``None``)."""
+    if backend == "baseline":
+        return None
+    if backend == "memory":
+        return MemoryStore
+    if backend == "jsonl":
+        return lambda: JsonlStore(directory / f"jsonl-{attempt}")
+    if backend == "sqlite":
+        directory.mkdir(parents=True, exist_ok=True)
+        return lambda: SqliteStore(directory / f"store-{attempt}.sqlite")
+    raise ValueError(f"unknown store backend {backend!r}")
+
+
+def run_store_comparison(device_count: int = 300,
+                         directory: Optional[str] = None,
+                         repeats: int = 1,
+                         backends: Sequence[str] = STORE_BACKENDS
+                         ) -> List[Dict[str, object]]:
+    """Devices/second for one in-process round per store backend.
+
+    Each backend row is the best of ``repeats`` attempts (fresh store
+    per attempt, so no backend ever replays a previous attempt's
+    state); ``baseline`` is the plain provision path the PR 2
+    throughput benchmark measured, i.e. the :class:`MemoryStore`
+    default.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    if directory is None:
+        with tempfile.TemporaryDirectory(prefix="erasmus-store-bench-") \
+                as tempdir:
+            return _compare_backends(Path(tempdir), device_count,
+                                     repeats, backends)
+    Path(directory).mkdir(parents=True, exist_ok=True)
+    # A unique per-call subdirectory: reusing an attempt path would
+    # replay the previous call's enrollments and trip the
+    # duplicate-enrollment guard.  Removed afterwards — the result is
+    # the rows, not the state files.
+    base = Path(tempfile.mkdtemp(prefix="run-", dir=directory))
+    try:
+        return _compare_backends(base, device_count, repeats, backends)
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
+def _compare_backends(base: Path, device_count: int, repeats: int,
+                      backends: Sequence[str]) -> List[Dict[str, object]]:
+    """Best-of-``repeats`` in-process round per store backend."""
+    rows: List[Dict[str, object]] = []
+    for backend in backends:
+        best: Optional[Dict[str, object]] = None
+        for attempt in range(repeats):
+            factory = _store_factory(backend, base / backend, attempt)
+            row = run_round("in-process", device_count,
+                            store_factory=factory)
+            if best is None or row["wall_time_s"] < best["wall_time_s"]:
+                best = row
+        assert best is not None
+        best["store"] = backend
+        rows.append(best)
+    return rows
+
+
+def format_store_table(rows: List[Dict[str, object]]) -> str:
+    """Render the store-overhead rows as a fixed-width table."""
+    baseline = next((row for row in rows if row["store"] == "baseline"),
+                    rows[0])
+    baseline_rate = float(baseline["devices_per_second"])
+    header = (f"{'store':<10} {'devices':>8} {'wall (s)':>9} "
+              f"{'dev/s':>8} {'vs baseline':>12}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        relative = float(row["devices_per_second"]) / baseline_rate \
+            if baseline_rate else 0.0
+        lines.append(
+            f"{row['store']:<10} {row['devices']:>8} "
+            f"{row['wall_time_s']:>9.2f} "
+            f"{row['devices_per_second']:>8.0f} {relative:>11.1%}")
+    return "\n".join(lines)
 
 
 def run(device_count: int = 1000,
@@ -90,8 +199,10 @@ def format_table(rows: List[Dict[str, object]]) -> str:
 
 
 def main() -> None:
-    """Print the fleet throughput table (1,000 devices per transport)."""
+    """Print the fleet throughput and store-overhead tables."""
     print(format_table(run()))
+    print()
+    print(format_store_table(run_store_comparison()))
 
 
 if __name__ == "__main__":

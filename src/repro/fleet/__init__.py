@@ -16,6 +16,12 @@ attestation as a many-device service rather than a pairwise exchange:
 * :mod:`repro.fleet.sinks` — pluggable report sinks (in-memory, JSONL,
   :class:`FleetHealth` aggregation).
 
+Verifier state can be made durable by passing a
+:class:`repro.store.StateStore` backend (``store=``) to
+:meth:`Fleet.provision` / :class:`FleetVerifier`; a crashed verifier is
+then resumed with :meth:`FleetVerifier.restore` — see
+:mod:`repro.store`.
+
 Quickstart::
 
     from repro.fleet import DeviceProfile, Fleet
@@ -46,12 +52,14 @@ from repro.fleet.service import (
     Fleet,
     FleetVerifier,
 )
+from repro.core.verification import DuplicateEnrollmentError
 from repro.fleet.sinks import (
     FleetHealth,
     FleetHealthSink,
     JsonlSink,
     MemorySink,
     ReportSink,
+    SinkFanout,
     report_to_row,
 )
 from repro.fleet.transport import (
@@ -65,6 +73,7 @@ from repro.fleet.transport import (
 __all__ = [
     "DEFAULT_BATCH_SIZE",
     "DeviceProfile",
+    "DuplicateEnrollmentError",
     "Fleet",
     "FleetHealth",
     "FleetHealthSink",
@@ -77,6 +86,7 @@ __all__ = [
     "ReportSink",
     "SMARTPLUS",
     "SimulatedNetworkTransport",
+    "SinkFanout",
     "SwarmRelayTransport",
     "TRANSPORT_FACTORIES",
     "Transport",

@@ -29,10 +29,11 @@ from repro.core.protocol import (
 from repro.core.verification import (
     BaseVerifier,
     DeviceStatus,
+    DuplicateEnrollmentError,
     VerificationReport,
 )
 from repro.fleet.profiles import DeviceProfile, ProvisionedDevice
-from repro.fleet.sinks import FleetHealth, ReportSink
+from repro.fleet.sinks import FleetHealth, ReportSink, SinkFanout
 from repro.fleet.transport import (
     InProcessTransport,
     SimulatedNetworkTransport,
@@ -40,6 +41,7 @@ from repro.fleet.transport import (
     Transport,
 )
 from repro.sim.engine import SimulationEngine
+from repro.store import MemoryStore, StateStore
 
 #: Default number of devices verified per shard of a collection round.
 DEFAULT_BATCH_SIZE = 256
@@ -52,23 +54,86 @@ class FleetVerifier(BaseVerifier):
     (same ``schedule_tolerance`` / ``allowed_missing`` policy knobs);
     ``sinks`` is any iterable of :class:`ReportSink` that each finished
     report is streamed to, in enrollment-independent arrival order.
+
+    ``store`` selects the :class:`repro.store.StateStore` backend the
+    verifier's state is committed through — every enrollment change is
+    written through immediately, every finished report is journaled,
+    and the aggregate :class:`FleetHealth` is checkpointed at the end
+    of each collection round.  The default :class:`repro.store.
+    MemoryStore` keeps the historical in-process behaviour; pass a
+    :class:`repro.store.JsonlStore` or :class:`repro.store.SqliteStore`
+    to make the deployment restartable via :meth:`restore`.
     """
 
     def __init__(self, config: ErasmusConfig,
                  schedule_tolerance: float = 0.25,
                  allowed_missing: int = 0,
-                 sinks: Iterable[ReportSink] = ()) -> None:
+                 sinks: Iterable[ReportSink] = (),
+                 store: Optional[StateStore] = None) -> None:
         super().__init__(config, schedule_tolerance=schedule_tolerance,
-                         allowed_missing=allowed_missing)
+                         allowed_missing=allowed_missing,
+                         store=store if store is not None else MemoryStore())
         self.sinks: List[ReportSink] = list(sinks)
         self.health = FleetHealth()
         self.rounds_completed = 0
 
+    @classmethod
+    def restore(cls, config: ErasmusConfig, store: StateStore,
+                schedule_tolerance: float = 0.25,
+                allowed_missing: int = 0,
+                sinks: Iterable[ReportSink] = ()) -> "FleetVerifier":
+        """Resume a deployment from a store's snapshot and journal.
+
+        Replays the store's last checkpoint plus any journaled reports
+        beyond it, so the returned verifier carries the pre-crash
+        enrollments (keys, digests *and* last-seen timestamps), the
+        aggregate :class:`FleetHealth` and per-device collection times.
+        The store stays attached: new state keeps being committed
+        through it.
+        """
+        state = store.restore_state()
+        verifier = cls(config, schedule_tolerance=schedule_tolerance,
+                       allowed_missing=allowed_missing, sinks=sinks,
+                       store=store)
+        # Installed directly — these records came *from* the store, so
+        # writing them back through it would be a redundant journal round.
+        verifier._enrollments = dict(state.enrollments)
+        verifier._last_collection_time = dict(state.last_collection_times)
+        verifier.health = state.health
+        verifier.rounds_completed = state.rounds_completed
+        return verifier
+
     # ------------------------------------------------------------------
     # Enrollment (shared store in BaseVerifier, fleet conveniences here)
     # ------------------------------------------------------------------
-    def enroll_device(self, device: ProvisionedDevice) -> None:
-        """Register a provisioned device (key and healthy digest bundled)."""
+    def enroll_device(self, device: ProvisionedDevice, *,
+                      re_enroll: bool = False) -> None:
+        """Register a provisioned device (key and healthy digest bundled).
+
+        Enrolling an already-enrolled device raises
+        :class:`DuplicateEnrollmentError` — overwriting would silently
+        reset the device's last-seen timestamp and digest whitelist.
+        The check consults the attached store as well as this process's
+        enrollments, so re-provisioning over an existing durable state
+        directory (instead of :meth:`restore`-ing from it) fails loudly
+        rather than erasing the rollback-detecting state.  Pass
+        ``re_enroll=True`` to replace the enrollment deliberately
+        (e.g. after re-provisioning the physical unit).
+        """
+        already = self.is_enrolled(device.device_id) or \
+            (self.store is not None and
+             self.store.has_enrollment(device.device_id))
+        if already and not re_enroll:
+            raise DuplicateEnrollmentError(
+                f"device {device.device_id!r} is already enrolled (in this "
+                f"verifier or its attached store); use FleetVerifier."
+                f"restore to resume a deployment, or pass re_enroll=True "
+                f"to deliberately replace the key, digest whitelist and "
+                f"last-seen state")
+        if already:
+            # The replaced unit's collection history is void along with
+            # its last-seen state.
+            self._last_collection_time.pop(device.device_id, None)
         self.enroll(device.device_id, device.key, [device.healthy_digest])
 
     def enrolled_ids(self) -> List[str]:
@@ -114,12 +179,33 @@ class FleetVerifier(BaseVerifier):
             expect_nonempty=True)
 
     def _commit(self, report: VerificationReport) -> VerificationReport:
-        """Advance per-device bookkeeping and stream the report to sinks."""
+        """Advance per-device bookkeeping and stream the report to sinks.
+
+        The report is journaled *before* the enrollment advance so the
+        store's write-ahead invariant holds: a crash between the two
+        writes replays the report (which re-derives the advance) rather
+        than leaving an advanced ``last_seen`` with no report behind it.
+        """
+        if self.store is not None:
+            self.store.append_report(report)
         self._advance_bookkeeping(report)
         self.health.record(report)
         for sink in self.sinks:
             sink.emit(report)
         return report
+
+    def checkpoint(self) -> None:
+        """Fold the verifier's full state into a durable store snapshot.
+
+        Called automatically at the end of every :meth:`collect_all`
+        round; call it manually after out-of-band state changes (bulk
+        enrollment, digest rollouts) worth persisting immediately.
+        Checkpointing the same state twice produces byte-identical
+        snapshots, so it is safe to call at any time.
+        """
+        if self.store is not None:
+            self.store.checkpoint(self.health, self._last_collection_time,
+                                  rounds_completed=self.rounds_completed)
 
     # ------------------------------------------------------------------
     # Batched collection rounds
@@ -129,7 +215,8 @@ class FleetVerifier(BaseVerifier):
                     k: Optional[int] = None,
                     device_ids: Optional[Iterable[str]] = None,
                     batch_size: int = DEFAULT_BATCH_SIZE,
-                    max_workers: Optional[int] = None
+                    max_workers: Optional[int] = None,
+                    checkpoint: bool = True
                     ) -> List[VerificationReport]:
         """Run one collection round over (a subset of) the fleet.
 
@@ -146,6 +233,13 @@ class FleetVerifier(BaseVerifier):
         so measurements taken while packets were in flight are never
         misjudged as "from the future".  Pass an explicit time only for
         engineless transports or deliberately retrospective audits.
+
+        Sinks are guarded by a :class:`~repro.fleet.sinks.SinkFanout`:
+        a clean round flushes them, a transport failure mid-round
+        flushes *and closes* them so already-verified reports reach
+        disk before the exception propagates.  Unless ``checkpoint=
+        False``, a finished round also folds the verifier state into a
+        store snapshot (see :meth:`checkpoint`).
         """
         if batch_size <= 0:
             raise ValueError("batch size must be positive")
@@ -161,28 +255,48 @@ class FleetVerifier(BaseVerifier):
         request_bytes = self.create_collect_request(k).encode()
 
         reports: List[VerificationReport] = []
-        for start in range(0, len(ids), batch_size):
-            batch = ids[start:start + batch_size]
-            responses = transport.exchange_many(
-                {device_id: request_bytes for device_id in batch})
-            batch_time = collection_time if collection_time is not None \
-                else engine.now
-
-            def _verify(device_id: str,
-                        batch_time: float = batch_time) -> VerificationReport:
-                return self._verify_payload(device_id,
-                                            responses.get(device_id),
-                                            batch_time)
-
-            if max_workers is not None and max_workers > 1 and len(batch) > 1:
-                with ThreadPoolExecutor(max_workers=max_workers) as pool:
-                    batch_reports = list(pool.map(_verify, batch))
-            else:
-                batch_reports = [_verify(device_id) for device_id in batch]
-            for report in batch_reports:
-                reports.append(self._commit(report))
+        try:
+            self._run_round(transport, ids, request_bytes, collection_time,
+                            engine, batch_size, max_workers, reports)
+        except BaseException:
+            # The fanout closed the sinks so nothing buffered was lost;
+            # drop the closed ones so a retry round on this verifier
+            # streams to the survivors instead of raising on dead sinks.
+            self.sinks = [sink for sink in self.sinks if not sink.closed]
+            raise
         self.rounds_completed += 1
+        if checkpoint:
+            self.checkpoint()
         return reports
+
+    def _run_round(self, transport: Transport, ids: List[str],
+                   request_bytes: bytes, collection_time: Optional[float],
+                   engine, batch_size: int, max_workers: Optional[int],
+                   reports: List[VerificationReport]) -> None:
+        """The body of one collection round, inside the sink fan-out."""
+        with SinkFanout(self.sinks):
+            for start in range(0, len(ids), batch_size):
+                batch = ids[start:start + batch_size]
+                responses = transport.exchange_many(
+                    {device_id: request_bytes for device_id in batch})
+                batch_time = collection_time if collection_time is not None \
+                    else engine.now
+
+                def _verify(device_id: str, batch_time: float = batch_time
+                            ) -> VerificationReport:
+                    return self._verify_payload(device_id,
+                                                responses.get(device_id),
+                                                batch_time)
+
+                if max_workers is not None and max_workers > 1 \
+                        and len(batch) > 1:
+                    with ThreadPoolExecutor(max_workers=max_workers) as pool:
+                        batch_reports = list(pool.map(_verify, batch))
+                else:
+                    batch_reports = [_verify(device_id)
+                                     for device_id in batch]
+                for report in batch_reports:
+                    reports.append(self._commit(report))
 
 
 # ----------------------------------------------------------------------
@@ -226,6 +340,7 @@ class Fleet:
                   = "in-process",
                   engine: Optional[SimulationEngine] = None,
                   sinks: Iterable[ReportSink] = (),
+                  store: Optional[StateStore] = None,
                   schedule_tolerance: float = 0.25,
                   allowed_missing: int = 0,
                   name_prefix: str = "dev",
@@ -243,7 +358,10 @@ class Fleet:
 
         ``transport`` may be a factory name from
         :data:`TRANSPORT_FACTORIES`, a ready :class:`Transport`
-        instance, or a callable receiving the engine.
+        instance, or a callable receiving the engine.  ``store`` backs
+        the verifier with a :class:`repro.store.StateStore` so the
+        deployment can be resumed after a verifier restart (see
+        :meth:`FleetVerifier.restore`).
         """
         if count <= 0:
             raise ValueError("a fleet needs at least one device")
@@ -272,7 +390,7 @@ class Fleet:
         verifier = FleetVerifier(profile.config,
                                  schedule_tolerance=schedule_tolerance,
                                  allowed_missing=allowed_missing,
-                                 sinks=sinks)
+                                 sinks=sinks, store=store)
         devices: Dict[str, ProvisionedDevice] = {}
         interval = profile.config.measurement_interval
         for index in range(count):
@@ -332,7 +450,8 @@ class Fleet:
     def collect_all(self, k: Optional[int] = None,
                     collection_time: Optional[float] = None,
                     batch_size: int = DEFAULT_BATCH_SIZE,
-                    max_workers: Optional[int] = None
+                    max_workers: Optional[int] = None,
+                    checkpoint: bool = True
                     ) -> List[VerificationReport]:
         """Run one collection round over the whole fleet.
 
@@ -341,12 +460,15 @@ class Fleet:
         """
         return self.verifier.collect_all(
             self.transport, collection_time, k=k,
-            batch_size=batch_size, max_workers=max_workers)
+            batch_size=batch_size, max_workers=max_workers,
+            checkpoint=checkpoint)
 
     def close(self) -> None:
-        """Close every attached report sink."""
+        """Close every attached report sink and the state store."""
         for sink in self.verifier.sinks:
             sink.close()
+        if self.verifier.store is not None:
+            self.verifier.store.close()
 
     def __enter__(self) -> "Fleet":
         return self

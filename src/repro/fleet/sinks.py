@@ -17,7 +17,7 @@ from __future__ import annotations
 import abc
 import json
 from dataclasses import dataclass, field
-from typing import IO, Dict, List, Optional, Set, Union
+from typing import IO, Dict, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.core.verification import DeviceStatus, VerificationReport
 
@@ -25,9 +25,16 @@ from repro.core.verification import DeviceStatus, VerificationReport
 class ReportSink(abc.ABC):
     """Consumer of per-device verification reports."""
 
+    #: Set by close() implementations that release resources; a failed
+    #: collection round prunes closed sinks from its verifier.
+    closed = False
+
     @abc.abstractmethod
     def emit(self, report: VerificationReport) -> None:
         """Accept one finished report."""
+
+    def flush(self) -> None:
+        """Push buffered reports to the backing medium (default: no-op)."""
 
     def close(self) -> None:
         """Flush and release any resources (default: nothing to do)."""
@@ -37,6 +44,52 @@ class ReportSink(abc.ABC):
 
     def __exit__(self, *_exc) -> None:
         self.close()
+
+
+class SinkFanout:
+    """Lifecycle guard for the sinks a collection round streams into.
+
+    Used as a context manager around one round: on a clean exit every
+    sink is flushed, so a finished round is always fully on disk; if
+    the round body raises (a transport failing mid-round, say) the
+    sinks are *closed* instead, so the reports verified before the
+    failure still reach their files rather than dying in buffers when
+    the exception unwinds the process.
+    """
+
+    def __init__(self, sinks: Iterable["ReportSink"]) -> None:
+        self.sinks: List[ReportSink] = list(sinks)
+
+    def flush(self) -> None:
+        """Flush every sink."""
+        for sink in self.sinks:
+            sink.flush()
+
+    def close(self) -> None:
+        """Close every sink; the first failure propagates after all run."""
+        first_error: Optional[Exception] = None
+        for sink in self.sinks:
+            try:
+                sink.close()
+            except Exception as exc:
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def __enter__(self) -> "SinkFanout":
+        return self
+
+    def __exit__(self, exc_type, _exc, _tb) -> bool:
+        if exc_type is not None:
+            # A close failure here means buffered reports were lost —
+            # worse than the round's own error, so it must not be
+            # silent; the round's exception stays chained as
+            # __context__ of the close error.
+            self.close()
+            return False
+        self.flush()
+        return False
 
 
 class MemorySink(ReportSink):
@@ -55,37 +108,58 @@ class MemorySink(ReportSink):
 
 
 def report_to_row(report: VerificationReport) -> Dict[str, object]:
-    """Flatten a report into the JSON-friendly row the JSONL sink writes."""
-    return {
-        "device_id": report.device_id,
-        "collection_time": report.collection_time,
-        "status": report.status.value,
-        "measurements": report.measurement_count,
-        "freshness": report.freshness,
-        "missing_intervals": report.missing_intervals,
-        "anomalies": list(report.anomalies),
-        "infected_timestamps": report.infected_timestamps,
-    }
+    """Flatten a report into the JSON-friendly row the JSONL sink writes.
+
+    This is the same canonical row
+    :meth:`repro.core.verification.VerificationReport.to_row` produces
+    (and :meth:`~repro.core.verification.VerificationReport.from_row`
+    reverses) — the :mod:`repro.store` journals persist identical rows.
+    """
+    return report.to_row()
 
 
 class JsonlSink(ReportSink):
-    """Append one JSON line per report to a file or file-like object."""
+    """Append one JSON line per report to a file or file-like object.
 
-    def __init__(self, target: Union[str, IO[str]]) -> None:
+    ``flush_every`` bounds data loss on long rounds: the stream is
+    flushed to the OS after every ``flush_every`` reports (``None``
+    keeps the historical flush-on-close-only behaviour).
+    """
+
+    def __init__(self, target: Union[str, IO[str]],
+                 flush_every: Optional[int] = None) -> None:
+        if flush_every is not None and flush_every <= 0:
+            raise ValueError("flush_every must be positive")
         if isinstance(target, str):
             self._stream: IO[str] = open(target, "a", encoding="utf-8")
             self._owns_stream = True
         else:
             self._stream = target
             self._owns_stream = False
+        self.flush_every = flush_every
         self.lines_written = 0
+        self.closed = False
 
     def emit(self, report: VerificationReport) -> None:
+        if self.closed:
+            raise ValueError(
+                "JsonlSink is closed (a failed collection round closes "
+                "its sinks); attach a fresh sink before collecting again")
         json.dump(report_to_row(report), self._stream, sort_keys=True)
         self._stream.write("\n")
         self.lines_written += 1
+        if self.flush_every is not None and \
+                self.lines_written % self.flush_every == 0:
+            self._stream.flush()
+
+    def flush(self) -> None:
+        if not self.closed:
+            self._stream.flush()
 
     def close(self) -> None:
+        if self.closed:
+            return
+        self.closed = True
         self._stream.flush()
         if self._owns_stream:
             self._stream.close()
@@ -144,6 +218,44 @@ class FleetHealth:
     def count(self, status: DeviceStatus) -> int:
         """Number of reports with the given status."""
         return self.status_counts[status.value]
+
+    # ------------------------------------------------------------------
+    # Persistence codec
+    # ------------------------------------------------------------------
+    def to_row(self) -> Dict[str, object]:
+        """Flatten into a stable, JSON-friendly row.
+
+        Sets are emitted sorted so equal aggregates always serialize to
+        identical rows — the property :class:`repro.store.StateStore`
+        checkpoints rely on.
+        """
+        return {
+            "reports_total": self.reports_total,
+            "measurements_verified": self.measurements_verified,
+            "status_counts": dict(sorted(self.status_counts.items())),
+            "devices_seen": sorted(self.devices_seen),
+            "flagged_devices": sorted(self.flagged_devices),
+            "missing_intervals_total": self.missing_intervals_total,
+            "freshness_sum": self._freshness_sum,
+            "freshness_count": self._freshness_count,
+        }
+
+    @classmethod
+    def from_row(cls, row: Mapping[str, object]) -> "FleetHealth":
+        """Rebuild an aggregate from its persisted row."""
+        counts = {status.value: 0 for status in DeviceStatus}
+        counts.update({str(status): int(count) for status, count
+                       in dict(row.get("status_counts", {})).items()})
+        return cls(
+            reports_total=int(row.get("reports_total", 0)),
+            measurements_verified=int(row.get("measurements_verified", 0)),
+            status_counts=counts,
+            devices_seen=set(row.get("devices_seen", ())),
+            flagged_devices=set(row.get("flagged_devices", ())),
+            missing_intervals_total=int(
+                row.get("missing_intervals_total", 0)),
+            _freshness_sum=float(row.get("freshness_sum", 0.0)),
+            _freshness_count=int(row.get("freshness_count", 0)))
 
     def summary(self) -> str:
         """Multi-line, human-readable fleet-health digest."""

@@ -1,0 +1,54 @@
+"""Durable verifier state: the ``repro.store`` persistence subsystem.
+
+ERASMUS verifiers are meant to run unattended for the lifetime of a
+deployment; the verifier's per-device record (enrollment key, healthy
+digests, newest-seen timestamp) and its aggregate
+:class:`~repro.fleet.FleetHealth` *are* the security state.  This
+package makes that state durable behind one pluggable contract:
+
+* :class:`StateStore` — save enrollments, journal verification
+  reports, checkpoint the fleet aggregate, restore after a restart;
+* :class:`MemoryStore` — process-local dicts (the zero-overhead
+  default; behaviour identical to the pre-store verifier);
+* :class:`JsonlStore` — atomic snapshot file plus write-ahead JSONL
+  journal, crash-safe via ``os.replace``;
+* :class:`SqliteStore` — single-file database with indexed per-device
+  report history.
+
+Resume a deployment with::
+
+    from repro.fleet import FleetVerifier
+    from repro.store import JsonlStore
+
+    store = JsonlStore("verifier-state/")
+    verifier = FleetVerifier.restore(config, store)
+    verifier.collect_all(transport)   # picks up where the crash left off
+"""
+
+from repro.store.base import (
+    RestoredState,
+    SNAPSHOT_VERSION,
+    StateStore,
+    StoreError,
+    apply_report_row,
+    encode_snapshot,
+    snapshot_document,
+    state_from_snapshot,
+)
+from repro.store.jsonl import JsonlStore
+from repro.store.memory import MemoryStore
+from repro.store.sqlite import SqliteStore
+
+__all__ = [
+    "JsonlStore",
+    "MemoryStore",
+    "RestoredState",
+    "SNAPSHOT_VERSION",
+    "SqliteStore",
+    "StateStore",
+    "StoreError",
+    "apply_report_row",
+    "encode_snapshot",
+    "snapshot_document",
+    "state_from_snapshot",
+]

@@ -1,0 +1,298 @@
+"""JSONL state store: atomic snapshot file plus write-ahead journal.
+
+The classic single-writer recovery design, in two plain-text files
+under one directory:
+
+* ``snapshot.json`` — the canonical checkpoint document, replaced
+  atomically (write temp file, fsync, ``os.replace``) so a crash can
+  never leave a half-written snapshot;
+* ``journal.jsonl`` — one JSON line per state change since the last
+  checkpoint: every enrollment upsert and every finished report, each
+  stamped with a monotonically increasing sequence number.
+
+Recovery loads the snapshot, then replays journal records with a
+sequence number beyond the snapshot's; a torn final line (crash mid-
+append) is tolerated and simply ends the replay.  Checkpointing folds
+the journal into a fresh snapshot and truncates it, bounding both
+recovery time and disk growth.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import IO, Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.core.verification import Enrollment, VerificationReport
+from repro.store.base import (
+    RestoredState,
+    Row,
+    StateStore,
+    StoreError,
+    apply_report_row,
+    encode_snapshot,
+    snapshot_document,
+    state_from_snapshot,
+)
+
+_KIND_ENROLLMENT = "enrollment"
+_KIND_REPORT = "report"
+
+
+class JsonlStore(StateStore):
+    """Snapshot + journal persistence in a directory of JSON files.
+
+    ``flush_every`` bounds data loss: the journal stream is flushed to
+    the OS after every ``flush_every`` appended records (default 1 —
+    flush each record).
+    """
+
+    def __init__(self, directory: Union[str, os.PathLike],
+                 flush_every: int = 1) -> None:
+        if flush_every <= 0:
+            raise ValueError("flush_every must be positive")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.snapshot_path = self.directory / "snapshot.json"
+        self.journal_path = self.directory / "journal.jsonl"
+        self.flush_every = flush_every
+        self._journal: Optional[IO[str]] = None
+        self._unflushed = 0
+        self._closed = False
+        # Resume sequence numbering and the enrollment cache from
+        # whatever an earlier process left behind; the replayed state is
+        # kept for the first restore_state call so the open-then-restore
+        # path (FleetVerifier.restore) reads the files only once.
+        state, self._seq = self._replay()
+        self._enrollments: Dict[str, Enrollment] = state.enrollments
+        self._opened_state: Optional[RestoredState] = state
+        self._dirty = False
+        # A crash mid-append can leave a torn final record; replay
+        # tolerates it, but appending onto it would merge two records
+        # into one corrupt line — cut it off before the first write.
+        self._repair_torn_tail()
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+    def _journal_stream(self) -> IO[str]:
+        if self._journal is None:
+            self._journal = open(self.journal_path, "a", encoding="utf-8")
+        return self._journal
+
+    def _append(self, kind: str, row: Row) -> None:
+        if self._closed:
+            raise StoreError(f"JSONL store {self.directory} is closed")
+        self._dirty = True
+        self._opened_state = None
+        self._seq += 1
+        record = {"seq": self._seq, "kind": kind, "row": row}
+        stream = self._journal_stream()
+        json.dump(record, stream, sort_keys=True, separators=(",", ":"))
+        stream.write("\n")
+        self._unflushed += 1
+        if self._unflushed >= self.flush_every:
+            stream.flush()
+            self._unflushed = 0
+
+    def _journal_records(self) -> List[Row]:
+        """All complete journal records, tolerating a torn final line."""
+        if not self.journal_path.exists():
+            return []
+        records: List[Row] = []
+        # Read as bytes: a crash can cut the final record inside a
+        # multi-byte UTF-8 character, which a text-mode read would turn
+        # into an unrecoverable UnicodeDecodeError for the whole file.
+        lines = self.journal_path.read_bytes().splitlines()
+        for index, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                records.append(json.loads(line.decode("utf-8")))
+            except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+                if index == len(lines) - 1:
+                    break  # torn tail from a crash mid-append
+                raise StoreError(
+                    f"corrupt journal record at line {index + 1} of "
+                    f"{self.journal_path}") from exc
+        return records
+
+    def _repair_torn_tail(self) -> None:
+        """Repair a torn final journal record left by a crash.
+
+        Only called after a successful replay, so at most the final
+        line can be damaged (appending onto it would corrupt the next
+        record).  Two cases: a record that parsed but lost only its
+        trailing newline was already acknowledged and re-served by the
+        replay, so it is *completed* (newline appended), never dropped;
+        an unparseable fragment never made it into any state and is
+        truncated away.
+        """
+        if not self.journal_path.exists():
+            return
+        with open(self.journal_path, "rb") as stream:
+            data = stream.read()
+        if not data:
+            return
+        keep = 0
+        for line in data.splitlines(keepends=True):
+            stripped = line.strip()
+            if stripped:
+                try:
+                    json.loads(stripped.decode("utf-8"))
+                except (json.JSONDecodeError, UnicodeDecodeError):
+                    break
+            if not line.endswith(b"\n"):
+                with open(self.journal_path, "ab") as stream:
+                    stream.write(b"\n")
+            keep += len(line)
+        if keep < len(data):
+            with open(self.journal_path, "rb+") as stream:
+                stream.truncate(keep)
+
+    def _read_snapshot(self) -> Optional[Row]:
+        if not self.snapshot_path.exists():
+            return None
+        try:
+            with open(self.snapshot_path, "r", encoding="utf-8") as stream:
+                return json.load(stream)
+        except json.JSONDecodeError as exc:
+            raise StoreError(
+                f"corrupt snapshot {self.snapshot_path}") from exc
+
+    def _replay(self) -> Tuple[RestoredState, int]:
+        """Snapshot + journal tail; returns the state and newest seq."""
+        document = self._read_snapshot()
+        state, snapshot_seq = state_from_snapshot(document)
+        newest_seq = snapshot_seq
+        for record in self._journal_records():
+            seq = int(record.get("seq", 0))
+            newest_seq = max(newest_seq, seq)
+            if seq <= snapshot_seq:
+                continue  # already folded into the snapshot
+            kind = record.get("kind")
+            row = record.get("row", {})
+            if kind == _KIND_ENROLLMENT:
+                enrollment = Enrollment.from_row(row)
+                state.enrollments[enrollment.device_id] = enrollment
+                if enrollment.last_seen is None:
+                    # A last_seen-less write is an initial enrollment or
+                    # a deliberate re-enrollment reset — either way the
+                    # device has no valid collection history any more.
+                    state.last_collection_times.pop(
+                        enrollment.device_id, None)
+            elif kind == _KIND_REPORT:
+                apply_report_row(row, state)
+            else:
+                raise StoreError(f"unknown journal record kind {kind!r}")
+        return state, newest_seq
+
+    # ------------------------------------------------------------------
+    # Writes
+    # ------------------------------------------------------------------
+    def save_enrollment(self, enrollment: Enrollment) -> None:
+        self._enrollments[enrollment.device_id] = enrollment
+        self._append(_KIND_ENROLLMENT, enrollment.to_row())
+
+    def append_report(self, report: VerificationReport) -> None:
+        self._append(_KIND_REPORT, report.to_row())
+
+    def checkpoint(self, health: Any,
+                   last_collection_times: Mapping[str, float],
+                   rounds_completed: int = 0) -> None:
+        if self._closed:
+            raise StoreError(f"JSONL store {self.directory} is closed")
+        self._dirty = True
+        self._opened_state = None
+        document = snapshot_document(
+            self._enrollments, health, last_collection_times,
+            rounds_completed, journal_seq=self._seq)
+        payload = encode_snapshot(document)
+        temp_path = self.snapshot_path.with_suffix(".json.tmp")
+        with open(temp_path, "wb") as stream:
+            stream.write(payload)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(temp_path, self.snapshot_path)
+        # The rename must hit stable storage before the journal is
+        # truncated — otherwise a power loss could persist the truncate
+        # but not the replace, losing the whole checkpointed round.
+        self._fsync_directory()
+        # Everything up to self._seq is now durable in the snapshot;
+        # truncate the journal so recovery stays O(one round).  A crash
+        # between the replace and the truncate is harmless: replay
+        # skips records at or below the snapshot's journal_seq.
+        if self._journal is not None:
+            self._journal.close()
+        self._journal = open(self.journal_path, "w", encoding="utf-8")
+        self._unflushed = 0
+
+    def _fsync_directory(self) -> None:
+        """Flush the directory entry (rename durability); best effort."""
+        try:
+            fd = os.open(self.directory, os.O_RDONLY)
+        except OSError:
+            return  # platforms without directory fds (e.g. Windows)
+        try:
+            os.fsync(fd)
+        except OSError:
+            pass
+        finally:
+            os.close(fd)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def has_enrollment(self, device_id: str) -> bool:
+        # The cache is authoritative: seeded from snapshot + journal at
+        # open, kept current by every save_enrollment since.
+        return device_id in self._enrollments
+
+    def restore_state(self) -> RestoredState:
+        if not self._dirty and self._opened_state is not None:
+            # Hand out the open-time replay once; the enrollment dict is
+            # copied so later write-throughs don't alias into it.
+            state, self._opened_state = self._opened_state, None
+            state.enrollments = dict(state.enrollments)
+            return state
+        self.flush()
+        state, _ = self._replay()
+        return state
+
+    def device_history(self, device_id: str,
+                       limit: Optional[int] = None) -> List[Row]:
+        self.flush()
+        rows = [record["row"] for record in self._journal_records()
+                if record.get("kind") == _KIND_REPORT
+                and record["row"].get("device_id") == device_id]
+        if limit is not None:
+            rows = rows[-limit:]
+        return rows
+
+    def state_rows(self) -> Optional[Row]:
+        return self._read_snapshot()
+
+    def state_bytes(self) -> bytes:
+        """The snapshot file's literal bytes (empty before a checkpoint)."""
+        if not self.snapshot_path.exists():
+            return b""
+        return self.snapshot_path.read_bytes()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        if self._journal is not None:
+            self._journal.flush()
+            self._unflushed = 0
+
+    def close(self) -> None:
+        # Reads (restore_state, device_history) keep working on a
+        # closed store — they reopen the files — but writes raise.
+        self._closed = True
+        if self._journal is not None:
+            self._journal.flush()
+            self._journal.close()
+            self._journal = None

@@ -246,3 +246,96 @@ def test_profile_factories_reject_config_plus_overrides():
         DeviceProfile.smartplus(config=config, measurement_interval=30.0)
     with pytest.raises(ValueError):
         DeviceProfile.hydra(config=config, buffer_slots=4)
+
+
+class _ExplodingTransport:
+    """A transport that fails after serving its first batch."""
+
+    name = "exploding"
+    engine = None
+
+    def __init__(self, inner, explode_after: int):
+        self._inner = inner
+        self._exchanges = 0
+        self._explode_after = explode_after
+
+    def register(self, device):
+        self._inner.register(device)
+
+    def exchange_many(self, requests):
+        self._exchanges += 1
+        if self._exchanges > self._explode_after:
+            raise ConnectionError("uplink lost mid-round")
+        return self._inner.exchange_many(requests)
+
+
+def test_transport_failure_mid_round_closes_sinks(tmp_path, fleet):
+    """Reports verified before a mid-round transport failure hit disk."""
+    path = tmp_path / "partial.jsonl"
+    sink = JsonlSink(str(path))
+    fleet.verifier.add_sink(sink)
+    fleet.run_until(60.0)
+    exploding = _ExplodingTransport(fleet.transport, explode_after=1)
+    with pytest.raises(ConnectionError):
+        fleet.verifier.collect_all(exploding, collection_time=60.0,
+                                   batch_size=8)
+    # The first batch's eight reports were flushed and the sink closed.
+    lines = path.read_text().splitlines()
+    assert len(lines) == 8
+    assert sink.closed
+    # Closing again (Fleet.close, context managers) stays harmless.
+    sink.close()
+
+
+def test_clean_round_flushes_but_keeps_sinks_open(tmp_path, fleet):
+    path = tmp_path / "rounds.jsonl"
+    sink = JsonlSink(str(path))
+    fleet.verifier.add_sink(sink)
+    fleet.run_until(60.0)
+    fleet.collect_all()
+    # Flushed to disk at end of round, but still open for the next one.
+    assert len(path.read_text().splitlines()) == 20
+    assert not sink.closed
+    fleet.run_until(120.0)
+    fleet.collect_all()
+    assert len(path.read_text().splitlines()) == 40
+    fleet.close()
+
+
+def test_jsonl_sink_flush_every_bounds_data_loss(tmp_path):
+    from repro.core.verification import VerificationReport
+
+    path = tmp_path / "flushed.jsonl"
+    sink = JsonlSink(str(path), flush_every=5)
+    for index in range(7):
+        sink.emit(VerificationReport(device_id=f"dev-{index}",
+                                     collection_time=float(index),
+                                     status=DeviceStatus.NO_DATA))
+    # The fifth emit crossed the flush threshold: even if the process
+    # dies now without close(), at most flush_every reports are lost.
+    assert len(path.read_text().splitlines()) >= 5
+    sink.close()
+    assert len(path.read_text().splitlines()) == 7
+    with pytest.raises(ValueError):
+        JsonlSink(io.StringIO(), flush_every=0)
+
+
+def test_retry_round_works_after_mid_round_failure(tmp_path, fleet):
+    """A transient transport error must not poison later rounds."""
+    path = tmp_path / "partial.jsonl"
+    sink = JsonlSink(str(path))
+    memory = MemorySink()
+    fleet.verifier.add_sink(sink)
+    fleet.verifier.add_sink(memory)
+    fleet.run_until(60.0)
+    exploding = _ExplodingTransport(fleet.transport, explode_after=1)
+    with pytest.raises(ConnectionError):
+        fleet.verifier.collect_all(exploding, collection_time=60.0,
+                                   batch_size=8)
+    # The closed JSONL sink was pruned; the memory sink survives and
+    # the retry round completes normally.
+    assert sink not in fleet.verifier.sinks
+    assert memory in fleet.verifier.sinks
+    retry = fleet.collect_all()
+    assert len(retry) == 20
+    assert len(memory.reports) == 28  # 8 from the failed round + 20
