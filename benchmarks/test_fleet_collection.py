@@ -1,9 +1,21 @@
 """Benchmark: fleet-collection throughput (devices/second, 1,000 devices).
 
-Runs one full fleet round — provision, self-measurement schedule,
-batched ``collect_all``, verification — through :mod:`repro.fleet` and
-records the devices/second rate in the benchmark's ``extra_info`` so
+Runs full fleet rounds — provision, self-measurement schedule,
+``collect_all``, verification — through :mod:`repro.fleet` and records
+the devices/second rates in the benchmark's ``extra_info`` so
 successive scaling PRs have a fixed yardstick.
+
+Three collection paths are compared on identical fleets:
+
+* ``sync-baseline`` — the strictly sequential reference round
+  (``pipeline=False``), the PR 2 devices/second ceiling;
+* ``async`` — the pipelined ``collect_all`` default (awaitable
+  transport seam plus the precompiled per-device verification path);
+* ``sharded`` — :class:`repro.fleet.ShardedFleetVerifier` draining the
+  fleet across four shard workers.
+
+The async and sharded paths must beat the synchronous baseline on the
+same 1,000-device fleet; that is this refactor's acceptance bar.
 """
 
 import pytest
@@ -28,6 +40,30 @@ def test_fleet_round_throughput_1000_devices(benchmark):
     assert row["devices_per_second"] > 50
 
 
+def test_async_and_sharded_beat_sync_baseline(benchmark):
+    rows = benchmark.pedantic(
+        fleet_collection.run_concurrency_comparison,
+        kwargs=dict(device_count=FLEET_SIZE, repeats=3),
+        rounds=1, iterations=1)
+    by_mode = {row["mode"]: row for row in rows}
+    for mode, row in by_mode.items():
+        benchmark.extra_info[f"{mode}_devices_per_second"] = \
+            row["devices_per_second"]
+        benchmark.extra_info[f"{mode}_collect_devices_per_second"] = \
+            row["collect_devices_per_second"]
+    assert all(row["reports"] == FLEET_SIZE for row in rows)
+    assert all(row["healthy"] == FLEET_SIZE for row in rows)
+    assert all(row["requests_sent"] == FLEET_SIZE for row in rows)
+    assert all(row["responses_lost"] == 0 for row in rows)
+    # The refactor's acceptance bar: the pipelined and sharded paths
+    # push past the synchronous single-process ceiling on an identical
+    # fleet (best-of-3 rounds each, so a stray scheduler hiccup on a
+    # busy CI machine cannot decide the comparison).
+    baseline = by_mode["sync-baseline"]["collect_devices_per_second"]
+    assert by_mode["async"]["collect_devices_per_second"] > baseline
+    assert by_mode["sharded"]["collect_devices_per_second"] > baseline
+
+
 @pytest.mark.parametrize("transport", ["simulated-network", "swarm-relay"])
 def test_fleet_round_networked_transports(benchmark, transport):
     row = benchmark.pedantic(
@@ -39,3 +75,4 @@ def test_fleet_round_networked_transports(benchmark, transport):
     # The simulated round-trip must have cost virtual time (packets
     # traversed real links) yet stay far below the measurement interval.
     assert 0 < row["sim_round_trip_s"] < 10.0
+    assert row["stale_responses_rejected"] == 0

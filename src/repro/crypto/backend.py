@@ -105,6 +105,30 @@ class CryptoBackend(abc.ABC):
         raise ValueError(f"backend {self.name!r} cannot compute MAC "
                          f"{mac_name!r}")
 
+    def mac_function(self, mac_name: str, key: bytes
+                     ) -> Callable[[bytes], bytes]:
+        """A fast ``data -> tag`` closure with name and key pre-bound.
+
+        Hot loops that verify thousands of tags under one device key
+        (the fleet collection pipeline) resolve the construction and the
+        key once instead of per call.
+        """
+        if not self.supports_mac(mac_name):
+            raise ValueError(f"backend {self.name!r} cannot compute MAC "
+                             f"{mac_name!r}")
+        lowered = mac_name.lower()
+        return lambda data: self.mac(lowered, key, data)
+
+    def compare_digests(self, left: bytes, right: bytes) -> bool:
+        """Constant-time tag comparison, provider-matched.
+
+        The reference provider keeps the from-scratch constant-time
+        idiom; the accelerated provider uses the stdlib's C
+        implementation — same contract, same result, no timing leak.
+        """
+        from repro.crypto.constant_time import constant_time_compare
+        return constant_time_compare(left, right)
+
     def __repr__(self) -> str:
         return f"<CryptoBackend {self.name!r}>"
 
@@ -173,6 +197,24 @@ class AcceleratedBackend(CryptoBackend):
             raise ValueError(f"unknown HMAC hash: {hash_name!r}")
         digest = _stdlib_hmac.digest
         return lambda key, data: digest(key, data, hash_name)
+
+    def mac_function(self, mac_name: str, key: bytes
+                     ) -> Callable[[bytes], bytes]:
+        lowered = mac_name.lower()
+        if lowered == "keyed-blake2s":
+            blake2s = hashlib.blake2s
+            return lambda data: blake2s(data, key=key).digest()
+        if lowered == "hmac-sha1":
+            digest = _stdlib_hmac.digest
+            return lambda data: digest(key, data, "sha1")
+        if lowered == "hmac-sha256":
+            digest = _stdlib_hmac.digest
+            return lambda data: digest(key, data, "sha256")
+        raise ValueError(f"backend {self.name!r} cannot compute MAC "
+                         f"{mac_name!r}")
+
+    def compare_digests(self, left: bytes, right: bytes) -> bool:
+        return _stdlib_hmac.compare_digest(left, right)
 
 
 # ----------------------------------------------------------------------

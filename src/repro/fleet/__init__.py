@@ -9,12 +9,16 @@ attestation as a many-device service rather than a pairwise exchange:
   MAC, crypto backend);
 * :mod:`repro.fleet.transport` — :class:`Transport` implementations
   (in-process, simulated packet network, swarm relay tree) that all
-  speak the canonical wire encoding;
-* :mod:`repro.fleet.service` — :class:`FleetVerifier` (batched,
-  sharded ``collect_all`` over the stateless verification core) and the
-  :class:`Fleet` facade;
+  speak the canonical wire encoding, plus the awaitable
+  :class:`AsyncTransport` seam (:func:`as_async_transport`) the
+  collection pipeline drives;
+* :mod:`repro.fleet.service` — :class:`FleetVerifier` (an async-first
+  ``collect_all`` pipeline over the stateless verification core, with
+  the synchronous call kept as a thin shim), the
+  :class:`ShardedFleetVerifier` (N shard workers, merged
+  :class:`FleetHealth`) and the :class:`Fleet` facade;
 * :mod:`repro.fleet.sinks` — pluggable report sinks (in-memory, JSONL,
-  :class:`FleetHealth` aggregation).
+  :class:`FleetHealth` aggregation) and per-round :class:`RoundStats`.
 
 Verifier state can be made durable by passing a
 :class:`repro.store.StateStore` backend (``store=``) to
@@ -48,9 +52,12 @@ from repro.fleet.profiles import (
 )
 from repro.fleet.service import (
     DEFAULT_BATCH_SIZE,
+    DEFAULT_MAX_INFLIGHT_SHARDS,
     TRANSPORT_FACTORIES,
     Fleet,
     FleetVerifier,
+    RoundReports,
+    ShardedFleetVerifier,
 )
 from repro.core.verification import DuplicateEnrollmentError
 from repro.fleet.sinks import (
@@ -59,19 +66,25 @@ from repro.fleet.sinks import (
     JsonlSink,
     MemorySink,
     ReportSink,
+    RoundStats,
     SinkFanout,
     report_to_row,
 )
 from repro.fleet.transport import (
+    AsyncTransport,
     InProcessTransport,
     SimulatedNetworkTransport,
     SwarmRelayTransport,
+    SyncTransportAdapter,
     Transport,
+    as_async_transport,
     serve_request,
 )
 
 __all__ = [
+    "AsyncTransport",
     "DEFAULT_BATCH_SIZE",
+    "DEFAULT_MAX_INFLIGHT_SHARDS",
     "DeviceProfile",
     "DuplicateEnrollmentError",
     "Fleet",
@@ -84,12 +97,17 @@ __all__ = [
     "MemorySink",
     "ProvisionedDevice",
     "ReportSink",
+    "RoundReports",
+    "RoundStats",
     "SMARTPLUS",
+    "ShardedFleetVerifier",
     "SimulatedNetworkTransport",
     "SinkFanout",
     "SwarmRelayTransport",
+    "SyncTransportAdapter",
     "TRANSPORT_FACTORIES",
     "Transport",
+    "as_async_transport",
     "derive_device_key",
     "report_to_row",
     "serve_request",

@@ -17,9 +17,66 @@ from __future__ import annotations
 import abc
 import json
 from dataclasses import dataclass, field
+from fractions import Fraction
 from typing import IO, Dict, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.core.verification import DeviceStatus, VerificationReport
+
+
+@dataclass
+class RoundStats:
+    """Operational counters for one collection round.
+
+    Where :class:`FleetHealth` aggregates *verification outcomes*,
+    round stats capture the *collection mechanics*: how many requests
+    went out, how many answers never came back, how many stale
+    responses from earlier (timed-out) rounds the transport had to
+    discard, and how long the round took in wall-clock terms.  Returned
+    by ``collect_all`` (on the report list's ``stats`` attribute) and
+    recorded, in memory only, on the verifier's :class:`FleetHealth` —
+    wall-clock figures are machine-dependent, so they are deliberately
+    kept out of the persisted health row.
+    """
+
+    requests_sent: int = 0
+    responses_received: int = 0
+    responses_lost: int = 0
+    stale_responses_rejected: int = 0
+    shards: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def devices_per_second(self) -> float:
+        """Collection throughput of this round (0 when instantaneous)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.requests_sent / self.wall_seconds
+
+    @classmethod
+    def merged(cls, parts: Iterable["RoundStats"]) -> "RoundStats":
+        """Combine per-shard stats into one fleet-wide round.
+
+        Counters add; wall-clock is the slowest shard, since shards run
+        concurrently.
+        """
+        total = cls()
+        for part in parts:
+            total.requests_sent += part.requests_sent
+            total.responses_received += part.responses_received
+            total.responses_lost += part.responses_lost
+            total.stale_responses_rejected += part.stale_responses_rejected
+            total.shards += part.shards
+            total.wall_seconds = max(total.wall_seconds, part.wall_seconds)
+        return total
+
+    def summary(self) -> str:
+        """One-line human-readable account of the round."""
+        return (f"round: {self.requests_sent} request(s), "
+                f"{self.responses_received} response(s), "
+                f"{self.responses_lost} lost, "
+                f"{self.stale_responses_rejected} stale rejected, "
+                f"{self.shards} shard(s), {self.wall_seconds:.3f}s "
+                f"({self.devices_per_second:.0f} devices/s)")
 
 
 class ReportSink(abc.ABC):
@@ -59,14 +116,29 @@ class SinkFanout:
 
     def __init__(self, sinks: Iterable["ReportSink"]) -> None:
         self.sinks: List[ReportSink] = list(sinks)
+        self.closed = False
 
     def flush(self) -> None:
-        """Flush every sink."""
+        """Flush every still-open sink.
+
+        Sinks that were already closed (a failed earlier round, a
+        shared sink closed by another owner) are skipped — flushing a
+        released stream would raise and could double-flush buffers.
+        """
         for sink in self.sinks:
-            sink.flush()
+            if not sink.closed:
+                sink.flush()
 
     def close(self) -> None:
-        """Close every sink; the first failure propagates after all run."""
+        """Close every sink; the first failure propagates after all run.
+
+        Idempotent: a second close (an exception handler unwinding past
+        a fanout that already closed itself, ``Fleet.close`` after a
+        failed round) is a no-op rather than a double-close.
+        """
+        if self.closed:
+            return
+        self.closed = True
         first_error: Optional[Exception] = None
         for sink in self.sinks:
             try:
@@ -176,8 +248,19 @@ class FleetHealth:
     devices_seen: Set[str] = field(default_factory=set)
     flagged_devices: Set[str] = field(default_factory=set)
     missing_intervals_total: int = 0
-    _freshness_sum: float = 0.0
+    # Freshness accumulates as an exact rational so that summation is
+    # associative: merging per-shard aggregates then reads back the
+    # *same* value (bit for bit) as recording every report into one
+    # aggregate, which the sharded-verifier merge tests rely on.  Plain
+    # float addition would make the merged checkpoint differ in the
+    # last ulp depending on shard layout.
+    _freshness_sum: Fraction = Fraction(0)
     _freshness_count: int = 0
+    #: Per-round collection mechanics (see :class:`RoundStats`).  Kept
+    #: in memory only — wall-clock figures are machine-dependent, so
+    #: they never enter the persisted row (:meth:`to_row`).
+    round_stats: List[RoundStats] = field(default_factory=list,
+                                          compare=False, repr=False)
 
     def record(self, report: VerificationReport) -> None:
         """Fold one report into the aggregate."""
@@ -189,8 +272,38 @@ class FleetHealth:
             self.flagged_devices.add(report.device_id)
         self.missing_intervals_total += report.missing_intervals
         if report.freshness is not None:
-            self._freshness_sum += report.freshness
+            self._freshness_sum += Fraction(report.freshness)
             self._freshness_count += 1
+
+    def record_round(self, stats: RoundStats) -> None:
+        """Attach one finished round's collection mechanics."""
+        self.round_stats.append(stats)
+
+    def merge(self, other: "FleetHealth") -> None:
+        """Fold another aggregate into this one (sharded verifiers)."""
+        self.reports_total += other.reports_total
+        self.measurements_verified += other.measurements_verified
+        for status, count in other.status_counts.items():
+            self.status_counts[status] = \
+                self.status_counts.get(status, 0) + count
+        self.devices_seen |= other.devices_seen
+        self.flagged_devices |= other.flagged_devices
+        self.missing_intervals_total += other.missing_intervals_total
+        self._freshness_sum += other._freshness_sum
+        self._freshness_count += other._freshness_count
+
+    @classmethod
+    def merged(cls, parts: Iterable["FleetHealth"]) -> "FleetHealth":
+        """One fleet-wide aggregate from per-shard aggregates.
+
+        Exact: thanks to the rational freshness accumulator the merged
+        aggregate serializes to the same bytes as a single aggregate
+        fed every report directly, whatever the shard layout.
+        """
+        total = cls()
+        for part in parts:
+            total.merge(part)
+        return total
 
     # ------------------------------------------------------------------
     # Derived metrics
@@ -213,7 +326,7 @@ class FleetHealth:
         """Mean freshness over reports that carried measurements."""
         if not self._freshness_count:
             return None
-        return self._freshness_sum / self._freshness_count
+        return float(Fraction(self._freshness_sum) / self._freshness_count)
 
     def count(self, status: DeviceStatus) -> int:
         """Number of reports with the given status."""
@@ -236,9 +349,33 @@ class FleetHealth:
             "devices_seen": sorted(self.devices_seen),
             "flagged_devices": sorted(self.flagged_devices),
             "missing_intervals_total": self.missing_intervals_total,
-            "freshness_sum": self._freshness_sum,
+            "freshness_sum": self._encode_freshness_sum(),
             "freshness_count": self._freshness_count,
         }
+
+    def _encode_freshness_sum(self):
+        """The exact accumulator in its canonical JSON form.
+
+        A plain JSON float whenever the exact sum is representable as
+        one (every historical snapshot is, so re-checkpointing restored
+        state stays byte-identical); otherwise an exact
+        ``[numerator, denominator]`` pair, so the row round-trips
+        losslessly and merged aggregates serialize identically to
+        single-pass ones.
+        """
+        exact = Fraction(self._freshness_sum)
+        as_float = float(exact)
+        if Fraction(as_float) == exact:
+            return as_float
+        return [exact.numerator, exact.denominator]
+
+    @staticmethod
+    def _decode_freshness_sum(value) -> Fraction:
+        """Reverse :meth:`_encode_freshness_sum` (old float rows too)."""
+        if isinstance(value, (list, tuple)):
+            numerator, denominator = value
+            return Fraction(int(numerator), int(denominator))
+        return Fraction(float(value))
 
     @classmethod
     def from_row(cls, row: Mapping[str, object]) -> "FleetHealth":
@@ -254,7 +391,8 @@ class FleetHealth:
             flagged_devices=set(row.get("flagged_devices", ())),
             missing_intervals_total=int(
                 row.get("missing_intervals_total", 0)),
-            _freshness_sum=float(row.get("freshness_sum", 0.0)),
+            _freshness_sum=cls._decode_freshness_sum(
+                row.get("freshness_sum", 0.0)),
             _freshness_count=int(row.get("freshness_count", 0)))
 
     def summary(self) -> str:

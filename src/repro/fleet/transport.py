@@ -16,12 +16,24 @@ The contract is deliberately tiny: ``register`` a provisioned device,
 then ``exchange_many`` a batch of encoded requests for encoded
 responses (``None`` marks a device that never answered — lost packets,
 partitions, or a dead device).
+
+Collection is async-first: the awaitable :class:`AsyncTransport`
+contract is what :meth:`repro.fleet.FleetVerifier.collect_all_async`
+drives, so wire exchange for one shard can overlap verification of
+another.  Synchronous transports keep working unchanged behind
+:class:`SyncTransportAdapter`; the simulated network additionally
+offers a *native* awaitable exchange whose delivery is event-driven
+(per-round packet-settlement accounting), so any number of collection
+rounds can be in flight over one simulated network at once, each
+overlapping simulation progress.  :func:`as_async_transport` picks the
+best available view automatically.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, Mapping, Optional
+import asyncio
+from typing import Callable, Dict, Mapping, Optional
 
 from repro.core.protocol import (
     CollectRequest,
@@ -58,6 +70,12 @@ class Transport(abc.ABC):
     #: Short name used in experiment tables and traces.
     name = "abstract"
 
+    #: True when concurrent ``exchange_many`` calls from multiple
+    #: threads are safe (sharded verifiers fan shards out to thread
+    #: workers).  Transports built on a shared single-threaded engine
+    #: must leave this False.
+    concurrent_collections = False
+
     @abc.abstractmethod
     def register(self, device: ProvisionedDevice) -> None:
         """Attach one provisioned device to this transport."""
@@ -78,6 +96,110 @@ class Transport(abc.ABC):
                 for device_id, payload in requests.items()}
 
 
+class AsyncTransport(abc.ABC):
+    """Awaitable request/response channel: the collection pipeline seam.
+
+    The contract mirrors :class:`Transport` with an ``async``
+    ``exchange_many``: awaiting it yields control while responses are
+    outstanding, so a collection pipeline can verify one shard while
+    another shard's packets are still on the wire.  Synchronous
+    transports are adapted with :class:`SyncTransportAdapter`; use
+    :func:`as_async_transport` rather than wrapping by hand.
+    """
+
+    #: Short name used in experiment tables and traces.
+    name = "abstract-async"
+
+    #: Engine whose clock stamps collection times (``None`` when the
+    #: transport has no virtual clock).
+    engine: Optional[SimulationEngine] = None
+
+    #: See :attr:`Transport.concurrent_collections`.
+    concurrent_collections = False
+
+    @abc.abstractmethod
+    def register(self, device: ProvisionedDevice) -> None:
+        """Attach one provisioned device to this transport."""
+
+    @abc.abstractmethod
+    async def exchange_many(self, requests: Mapping[str, bytes]
+                            ) -> Dict[str, Optional[bytes]]:
+        """Exchange a batch of requests; resolve when the round settles."""
+
+    async def exchange(self, device_id: str, payload: bytes
+                       ) -> Optional[bytes]:
+        """Send one encoded request; return the encoded response or ``None``."""
+        responses = await self.exchange_many({device_id: payload})
+        return responses[device_id]
+
+
+class SyncTransportAdapter(AsyncTransport):
+    """Awaitable view over a synchronous transport.
+
+    The wrapped exchange runs inline on the event loop: synchronous
+    transports either answer immediately (in-process) or drive a
+    single-threaded engine that must not be stepped from two places at
+    once, so handing them to a worker thread would be unsound, not
+    faster.  Overlap across shards comes from transports with native
+    awaitable exchanges (see
+    :meth:`SimulatedNetworkTransport.exchange_many_async`).
+
+    Duck-typed on purpose: anything with ``register`` / ``exchange_many``
+    (e.g. test doubles) adapts, matching what the synchronous
+    ``collect_all`` accepted historically.
+    """
+
+    def __init__(self, inner) -> None:
+        self.inner = inner
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return getattr(self.inner, "name", "sync")
+
+    @property
+    def engine(self):  # type: ignore[override]
+        return getattr(self.inner, "engine", None)
+
+    @property
+    def concurrent_collections(self) -> bool:  # type: ignore[override]
+        return getattr(self.inner, "concurrent_collections", False)
+
+    @property
+    def stale_responses_rejected(self) -> int:
+        """Stale-response counter of the wrapped transport (0 if none)."""
+        return getattr(self.inner, "stale_responses_rejected", 0)
+
+    def register(self, device: ProvisionedDevice) -> None:
+        self.inner.register(device)
+
+    async def exchange_many(self, requests: Mapping[str, bytes]
+                            ) -> Dict[str, Optional[bytes]]:
+        return self.inner.exchange_many(requests)
+
+
+class _NativeAsyncAdapter(SyncTransportAdapter):
+    """Awaitable view bound to a transport's native async exchange."""
+
+    async def exchange_many(self, requests: Mapping[str, bytes]
+                            ) -> Dict[str, Optional[bytes]]:
+        return await self.inner.exchange_many_async(requests)
+
+
+def as_async_transport(transport) -> AsyncTransport:
+    """The awaitable view of any transport.
+
+    Already-async transports pass through; transports exposing a native
+    ``exchange_many_async`` (the simulated network) get an adapter bound
+    to it; plain synchronous transports get the inline
+    :class:`SyncTransportAdapter`.
+    """
+    if isinstance(transport, AsyncTransport):
+        return transport
+    if callable(getattr(transport, "exchange_many_async", None)):
+        return _NativeAsyncAdapter(transport)
+    return SyncTransportAdapter(transport)
+
+
 class InProcessTransport(Transport):
     """Zero-latency transport calling provers directly (through the codec).
 
@@ -87,6 +209,11 @@ class InProcessTransport(Transport):
     """
 
     name = "in-process"
+
+    #: Direct calls on per-device provers: concurrent batches from
+    #: sharded verifier workers touch disjoint devices and never step
+    #: the engine, so parallel exchange is safe.
+    concurrent_collections = True
 
     def __init__(self, engine: Optional[SimulationEngine] = None) -> None:
         self.engine = engine
@@ -115,6 +242,39 @@ class InProcessTransport(Transport):
 VERIFIER_NODE = "verifier"
 
 
+class _PendingRound:
+    """In-flight state of one collection round over the packet network.
+
+    A round is *settled* once every expected response has arrived or
+    once none of its packets is on the wire anymore (lost packets are
+    not retransmitted, so a missing response can then never arrive).
+    ``outstanding`` counts this round's admitted-but-unsettled packets,
+    maintained from the network's packet-settlement events — which is
+    what lets any number of rounds share one network without waiting on
+    each other's traffic.
+    """
+
+    __slots__ = ("round_id", "expected", "responses", "deadline",
+                 "outstanding", "launched")
+
+    def __init__(self, round_id: str, expected, deadline: float) -> None:
+        self.round_id = round_id
+        self.expected = expected
+        self.responses: Dict[str, bytes] = {}
+        self.deadline = deadline
+        self.outstanding = 0
+        #: Guards settlement checks until every request has been sent
+        #: (``outstanding`` is transiently 0 mid-launch).
+        self.launched = False
+
+    @property
+    def settled(self) -> bool:
+        if not self.launched:
+            return False
+        return len(self.responses) >= len(self.expected) or \
+            self.outstanding == 0
+
+
 class SimulatedNetworkTransport(Transport):
     """Collections over the :mod:`repro.net` packet network.
 
@@ -124,6 +284,16 @@ class SimulatedNetworkTransport(Transport):
     loss.  ``exchange_many`` launches the whole batch before draining
     the engine, so per-device round-trips overlap exactly as they would
     on a real network.
+
+    Delivery is event-driven per round: every launched round tracks its
+    own outstanding packets through the network's settlement events, so
+    several rounds can be in flight at once — the awaitable
+    :meth:`exchange_many_async` exploits that to overlap collection
+    rounds with each other and with simulation progress, while the
+    synchronous :meth:`exchange_many` simply drives its single round to
+    settlement.  Responses are round-tagged; an answer that straggles
+    in after its round timed out is rejected and counted in
+    :attr:`stale_responses_rejected`, never credited to a later round.
     """
 
     name = "simulated-network"
@@ -142,12 +312,17 @@ class SimulatedNetworkTransport(Transport):
         self.network = Network(engine, seed=seed)
         self.network.add_node(
             NetworkNode(VERIFIER_NODE, on_receive=self._verifier_receives))
+        self.network.on_packet_admitted.append(self._packet_admitted)
+        self.network.on_packet_settled.append(self._packet_settled)
         self._provers: Dict[str, ErasmusProver] = {}
-        self._responses: Dict[str, bytes] = {}
         # Monotonic round counter carried in the packet kind so that a
         # response still in flight when a round times out cannot be
-        # mistaken for an answer to the *next* round's request.
+        # mistaken for an answer to a *later* round's request.
         self._round = 0
+        self._pending: Dict[str, _PendingRound] = {}
+        #: Responses that arrived after their round had already settled
+        #: or timed out; rejected rather than misattributed.
+        self.stale_responses_rejected = 0
 
     # ------------------------------------------------------------------
     # Topology
@@ -185,10 +360,76 @@ class SimulatedNetworkTransport(Transport):
                   kind=f"attestation-response/{round_tag}")
 
     def _verifier_receives(self, _node: NetworkNode, packet,
-                           _time: float) -> None:
-        if packet.kind.rpartition("/")[2] != str(self._round):
-            return  # stale response from a timed-out earlier round
-        self._responses[packet.source] = packet.payload
+                           time: float) -> None:
+        pending = self._pending.get(packet.kind.rpartition("/")[2])
+        if pending is None or time > pending.deadline:
+            # The response's round already settled or timed out; with
+            # overlapping rounds, crediting it anywhere would hand one
+            # round another round's (older) history.  The deadline
+            # check matters when a *concurrent* driver (another round,
+            # an engine drain) steps a late delivery while this round
+            # is still registered: the synchronous drive would have
+            # stopped before ever stepping it, and the async path must
+            # reject it the same way.
+            self.stale_responses_rejected += 1
+            return
+        pending.responses[packet.source] = packet.payload
+
+    def _packet_admitted(self, packet) -> None:
+        pending = self._pending.get(packet.kind.rpartition("/")[2])
+        if pending is not None:
+            pending.outstanding += 1
+
+    def _packet_settled(self, packet, _outcome: str) -> None:
+        pending = self._pending.get(packet.kind.rpartition("/")[2])
+        if pending is not None:
+            pending.outstanding -= 1
+
+    # ------------------------------------------------------------------
+    # Round lifecycle
+    # ------------------------------------------------------------------
+    def _begin_round(self, requests: Mapping[str, bytes]) -> _PendingRound:
+        """Validate, launch every request, and register the round."""
+        for device_id in requests:
+            if device_id not in self._provers:
+                raise KeyError(f"device {device_id!r} is not registered")
+        self._round += 1
+        pending = _PendingRound(str(self._round), tuple(requests),
+                                deadline=self.engine.now + self.round_timeout)
+        # Registered before the first send so the admission/settlement
+        # hooks attribute the request packets to this round.
+        self._pending[pending.round_id] = pending
+        verifier_node = self.network.node(VERIFIER_NODE)
+        kind = f"attestation-request/{pending.round_id}"
+        for device_id, payload in requests.items():
+            verifier_node.send(device_id, payload, kind=kind)
+        pending.launched = True
+        return pending
+
+    def _finish_round(self, pending: _PendingRound
+                      ) -> Dict[str, Optional[bytes]]:
+        """Deregister the round; anything still in flight is now stale."""
+        del self._pending[pending.round_id]
+        return {device_id: pending.responses.get(device_id)
+                for device_id in pending.expected}
+
+    def _drive(self, pending: _PendingRound, max_events: int) -> bool:
+        """Step the engine for this round; False once it cannot progress.
+
+        The virtual clock stops at the last relevant delivery instead of
+        jumping to the timeout: once the round's own packets have all
+        settled, a missing response can never arrive (lost packets are
+        not retransmitted), and events past the round's deadline belong
+        to whoever waits for them.
+        """
+        for _ in range(max_events):
+            if pending.settled:
+                return False
+            next_time = self.engine.peek_time()
+            if next_time is None or next_time > pending.deadline:
+                return False
+            self.engine.step()
+        return True
 
     # ------------------------------------------------------------------
     # Exchange
@@ -198,33 +439,52 @@ class SimulatedNetworkTransport(Transport):
 
     def exchange_many(self, requests: Mapping[str, bytes]
                       ) -> Dict[str, Optional[bytes]]:
-        for device_id in requests:
-            if device_id not in self._provers:
-                raise KeyError(f"device {device_id!r} is not registered")
-        self._responses.clear()
-        self._round += 1
-        verifier_node = self.network.node(VERIFIER_NODE)
-        for device_id, payload in requests.items():
-            verifier_node.send(device_id, payload,
-                               kind=f"attestation-request/{self._round}")
+        pending = self._begin_round(requests)
+        try:
+            while self._drive(pending, max_events=1024):
+                pass
+        finally:
+            # Deregister even when a stepped event handler raises:
+            # a leaked round would swallow late responses forever
+            # (crediting them to a dead round instead of counting them
+            # stale) and pin their payloads in memory.
+            responses = self._finish_round(pending)
+        return responses
 
-        # Drain the engine event by event so the virtual clock stops at
-        # the last delivery instead of jumping to the timeout.  Once no
-        # packet is in flight any missing response can never arrive
-        # (lost packets are not retransmitted), so stop immediately
-        # rather than burning the whole timeout stepping unrelated
-        # events such as prover self-measurements.  Only this round's
-        # devices can enter _responses (round-tagged), so a length
-        # check decides completion in O(1) per event.
-        deadline = self.engine.now + self.round_timeout
-        while len(self._responses) < len(requests) and \
-                self.network.in_flight_packets > 0:
-            next_time = self.engine.peek_time()
-            if next_time is None or next_time > deadline:
-                break
-            self.engine.step()
-        return {device_id: self._responses.get(device_id)
-                for device_id in requests}
+    async def exchange_many_async(self, requests: Mapping[str, bytes]
+                                  ) -> Dict[str, Optional[bytes]]:
+        """Awaitable exchange: lets rounds overlap on one network.
+
+        Any number of these coroutines can be in flight concurrently
+        (plus an :meth:`SimulationEngine.run_async` drain): one of them
+        drives the engine a few events at a time while the others yield,
+        each resolving as soon as *its own* packets settle or its
+        deadline passes — rounds never barrier on each other's traffic.
+        """
+        pending = self._begin_round(requests)
+        try:
+            # Yield once between launch and drive: concurrent rounds
+            # launched in the same wall-clock instant then inject their
+            # requests at the same *virtual* instant too, before any of
+            # them starts draining the engine — the async equivalent of
+            # "launch the whole batch, then wait".
+            await asyncio.sleep(0)
+            while not pending.settled:
+                if self.engine.now > pending.deadline:
+                    break  # another driver ran the clock past our timeout
+                # Concurrent rounds simply take turns driving: the
+                # engine pops each event exactly once, and whoever
+                # steps delivers everyone's packets.
+                progressed = self._drive(pending, max_events=16)
+                if not progressed and not pending.settled:
+                    # The next event (if any) lies beyond our deadline,
+                    # and the earliest event is the earliest *anything*
+                    # — including our responses — can happen: timed out.
+                    break
+                await asyncio.sleep(0)
+        finally:
+            responses = self._finish_round(pending)
+        return responses
 
 
 class SwarmRelayTransport(SimulatedNetworkTransport):

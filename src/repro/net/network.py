@@ -36,6 +36,14 @@ class Network:
         #: callers draining the engine stop as soon as nothing they are
         #: waiting for can still arrive.
         self.in_flight_packets = 0
+        #: Event hooks for callers that account packets by category
+        #: rather than globally (e.g. a transport tracking which
+        #: collection *round* each in-flight packet belongs to).
+        #: ``on_packet_admitted`` fires when :meth:`transmit` accepts a
+        #: packet; ``on_packet_settled`` fires exactly once per admitted
+        #: packet with the outcome ``"delivered"`` or ``"dropped"``.
+        self.on_packet_admitted: list = []
+        self.on_packet_settled: list = []
 
     # ------------------------------------------------------------------
     # Topology management
@@ -117,8 +125,16 @@ class Network:
             self.unroutable_packets += 1
             return False
         self.in_flight_packets += 1
+        for listener in self.on_packet_admitted:
+            listener(packet)
         self._schedule_hop(packet, route, hop_index=0, time=self.engine.now)
         return True
+
+    def _settle(self, packet: Packet, outcome: str) -> None:
+        """Retire one admitted packet and notify settlement listeners."""
+        self.in_flight_packets -= 1
+        for listener in self.on_packet_settled:
+            listener(packet, outcome)
 
     def _schedule_hop(self, packet: Packet, route: list[str], hop_index: int,
                       time: float) -> None:
@@ -127,11 +143,11 @@ class Network:
         if link is None:
             # The topology changed underneath the packet: it is lost.
             self.dropped_packets += 1
-            self.in_flight_packets -= 1
+            self._settle(packet, "dropped")
             return
         if self._random.random() < link.loss_probability:
             self.dropped_packets += 1
-            self.in_flight_packets -= 1
+            self._settle(packet, "dropped")
             return
         arrival = time + link.transfer_delay(packet)
 
@@ -140,7 +156,7 @@ class Network:
                 self.delivered_packets += 1
                 # Count delivery before the handler runs: the handler
                 # may transmit a reply, which is a new in-flight packet.
-                self.in_flight_packets -= 1
+                self._settle(packet, "delivered")
                 self._nodes[route[-1]].deliver(
                     packet.forwarded(route[-1]), self.engine.now)
             else:

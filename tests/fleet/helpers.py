@@ -1,0 +1,30 @@
+"""Shared helpers for the fleet test modules."""
+
+import json
+
+from repro.fleet import DeviceProfile
+
+
+def small_profile(firmware: bytes) -> DeviceProfile:
+    """The compact SMART+ profile the fleet suites exercise."""
+    return DeviceProfile.smartplus(firmware=firmware, application_size=256,
+                                   measurement_interval=10.0,
+                                   collection_interval=60.0,
+                                   buffer_slots=8)
+
+
+def report_key(report):
+    """The observable identity of one report, for path-equivalence asserts.
+
+    Every field a collection path could plausibly diverge on; extend
+    here (once) when :class:`VerificationReport` grows.
+    """
+    return (report.device_id, report.status.value, report.measurement_count,
+            report.freshness, report.missing_intervals,
+            tuple(report.anomalies))
+
+
+def health_bytes(verifier) -> bytes:
+    """Canonical bytes of a verifier's health row (merge-identity asserts)."""
+    return json.dumps(verifier.health.to_row(), sort_keys=True,
+                      separators=(",", ":")).encode()

@@ -339,3 +339,92 @@ def test_retry_round_works_after_mid_round_failure(tmp_path, fleet):
     retry = fleet.collect_all()
     assert len(retry) == 20
     assert len(memory.reports) == 28  # 8 from the failed round + 20
+
+
+class _FlakySink(MemorySink):
+    """A sink whose close / flush can be made to fail, with counters."""
+
+    def __init__(self, fail_close: bool = False):
+        super().__init__()
+        self.fail_close = fail_close
+        self.close_calls = 0
+        self.flush_calls = 0
+        self.closed = False
+
+    def flush(self):
+        self.flush_calls += 1
+
+    def close(self):
+        self.close_calls += 1
+        self.closed = True
+        if self.fail_close:
+            raise OSError("backing stream gone")
+
+
+def test_fleet_close_is_idempotent(tmp_path, fleet):
+    sink = JsonlSink(str(tmp_path / "out.jsonl"))
+    fleet.verifier.add_sink(sink)
+    fleet.run_until(60.0)
+    fleet.collect_all()
+    fleet.close()
+    assert sink.closed
+    # A second close — context-manager exit after an explicit call,
+    # double cleanup in a finally block — must be a silent no-op.
+    fleet.close()
+    with fleet:
+        pass  # __exit__ is the third close
+
+
+def test_fleet_close_after_mid_round_failure_does_not_raise(tmp_path, fleet):
+    sink = JsonlSink(str(tmp_path / "partial.jsonl"))
+    fleet.verifier.add_sink(sink)
+    fleet.run_until(60.0)
+    exploding = _ExplodingTransport(fleet.transport, explode_after=1)
+    with pytest.raises(ConnectionError):
+        fleet.verifier.collect_all(exploding, collection_time=60.0,
+                                   batch_size=8)
+    assert sink.closed  # the failed round closed it
+    fleet.close()  # must not raise on the already-closed sink
+    fleet.close()
+
+
+def test_fleet_close_releases_everything_despite_sink_failure(fleet):
+    bad = _FlakySink(fail_close=True)
+    good = _FlakySink()
+    fleet.verifier.add_sink(bad)
+    fleet.verifier.add_sink(good)
+    with pytest.raises(OSError):
+        fleet.close()
+    # The failing sink did not stop the later sink (or the store) from
+    # being released, and the close is not retried on re-entry.
+    assert good.close_calls == 1
+    fleet.close()
+    assert bad.close_calls == 1
+    assert good.close_calls == 1
+
+
+def test_sink_fanout_close_is_idempotent():
+    from repro.fleet import SinkFanout
+
+    sink = _FlakySink()
+    fanout = SinkFanout([sink])
+    fanout.close()
+    fanout.close()
+    assert sink.close_calls == 1
+    # Flushing after closure skips the closed sink instead of raising
+    # or double-flushing buffered data.
+    fanout.flush()
+    assert sink.flush_calls == 0
+
+
+def test_sink_fanout_flush_skips_closed_sinks():
+    from repro.fleet import SinkFanout
+
+    open_sink, closed_sink = _FlakySink(), _FlakySink()
+    closed_sink.close()
+    fanout = SinkFanout([open_sink, closed_sink])
+    with fanout:
+        pass  # clean exit flushes
+    assert open_sink.flush_calls == 1
+    assert closed_sink.flush_calls == 0
+    assert closed_sink.close_calls == 1

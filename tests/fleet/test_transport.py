@@ -159,3 +159,25 @@ def test_stale_response_from_timed_out_round_is_discarded(profile):
     assert second is not None
     response = decode_response(second)
     assert len(response.measurements) == 6  # history as of t>=60, not t=30
+
+
+def test_sync_round_deregisters_even_when_a_stepped_event_raises(profile):
+    """An exception mid-drive must not leak the pending round."""
+    engine = SimulationEngine()
+    transport = SimulatedNetworkTransport(engine, latency=0.05)
+    provision_into(transport, profile, engine, 1)
+    engine.run(until=30.0)
+
+    def explode(_event):
+        raise RuntimeError("handler died mid-round")
+
+    engine.schedule(engine.now + 0.001, explode)
+    with pytest.raises(RuntimeError):
+        transport.exchange("t-0", collect_request_bytes(profile))
+    assert not transport._pending  # the aborted round was deregistered
+
+    # The aborted round's traffic is now stale: a later round steps
+    # through it, rejects it, and still gets its own fresh answer.
+    second = transport.exchange("t-0", collect_request_bytes(profile))
+    assert second is not None
+    assert transport.stale_responses_rejected == 1

@@ -120,3 +120,40 @@ def test_node_statistics_and_duplicates():
         network.add_link(Link("a", "ghost"))
     with pytest.raises(KeyError):
         network.node("ghost")
+
+
+def test_packet_admission_and_settlement_listeners():
+    engine, network, _received = build_network(
+        ["a", "b"], [Link("a", "b")])
+    admitted, settled = [], []
+    network.on_packet_admitted.append(lambda packet: admitted.append(packet))
+    network.on_packet_settled.append(
+        lambda packet, outcome: settled.append((packet.kind, outcome)))
+    network.node("a").send("b", b"payload", kind="probe")
+    assert [packet.kind for packet in admitted] == ["probe"]
+    assert settled == []  # in flight until the engine delivers it
+    engine.run()
+    assert settled == [("probe", "delivered")]
+    assert network.in_flight_packets == 0
+
+
+def test_settlement_listener_reports_drops():
+    engine, network, _received = build_network(
+        ["a", "b"], [Link("a", "b", loss_probability=1.0)])
+    outcomes = []
+    network.on_packet_settled.append(
+        lambda packet, outcome: outcomes.append(outcome))
+    network.node("a").send("b", b"payload")
+    engine.run()
+    assert outcomes == ["dropped"]
+    assert network.in_flight_packets == 0
+
+
+def test_unroutable_packet_is_never_admitted():
+    engine, network, _received = build_network(["a", "b"], [])
+    admitted = []
+    network.on_packet_admitted.append(lambda packet: admitted.append(packet))
+    assert not network.node("a").send("b", b"payload")
+    assert admitted == []
+    assert network.unroutable_packets == 1
+    del engine

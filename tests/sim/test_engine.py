@@ -113,3 +113,50 @@ def test_events_processed_counter():
         engine.schedule(float(index + 1), lambda event: None)
     engine.run()
     assert engine.events_processed == 3
+
+
+def test_run_async_matches_run():
+    import asyncio
+
+    times = []
+    engine = SimulationEngine()
+    for index in range(10):
+        engine.schedule(float(index), lambda event: times.append(event.time))
+    processed = asyncio.run(engine.run_async(until=20.0, yield_every=3))
+    assert processed == 10
+    assert times == [float(index) for index in range(10)]
+    assert engine.now == 20.0
+
+
+def test_run_async_rejects_bad_yield_interval_and_reentry():
+    import asyncio
+
+    engine = SimulationEngine()
+    with pytest.raises(SimulationError):
+        asyncio.run(engine.run_async(yield_every=0))
+
+    async def reenter():
+        for index in range(8):
+            engine.schedule(float(index), lambda event: None)
+        # yield_every=1 forces the first drain to suspend after each
+        # event, so the second one genuinely starts mid-run.
+        first = engine.run_async(yield_every=1)
+        second = engine.run_async(max_events=1)
+        return await asyncio.gather(first, second,
+                                    return_exceptions=True)
+
+    results = asyncio.run(reenter())
+    assert any(isinstance(result, SimulationError) for result in results)
+
+
+def test_truncated_run_does_not_jump_clock_past_pending_events():
+    """A max_events-capped drain must not strand queued events behind now."""
+    engine = SimulationEngine()
+    engine.schedule(5.0, lambda event: None)
+    engine.schedule(10.0, lambda event: None)
+    processed = engine.run(until=100.0, max_events=1)
+    assert processed == 1
+    assert engine.now == 5.0  # not 100.0: the t=10 event is still queued
+    engine.schedule(50.0, lambda event: None)  # must not be "in the past"
+    engine.run(until=100.0)
+    assert engine.now == 100.0
