@@ -1,0 +1,32 @@
+"""Benchmark: Section 6 coverage under mobility, on real provisioned provers."""
+
+import pytest
+
+from repro.experiments import swarm_mobility_fleet
+
+_SPEEDS = (0.0, 6.0)
+
+
+def test_mobile_fleet_collection_sweep(benchmark):
+    rows = benchmark(swarm_mobility_fleet.run, device_count=36,
+                     speeds=_SPEEDS, rounds=2)
+    static = swarm_mobility_fleet.coverage_by_protocol(rows, 0.0)
+    mobile = swarm_mobility_fleet.coverage_by_protocol(rows, 6.0)
+
+    # Speed 0 is a static geometric graph: the fleet collection reaches
+    # exactly the gateway's connected component (no loss configured).
+    static_connected = swarm_mobility_fleet.connected_coverage_at(rows, 0.0)
+    assert static["erasmus-fleet"] == pytest.approx(static_connected)
+
+    # Under mobility the collection still tracks the connected
+    # component while the on-demand cost-model protocols collapse.
+    assert mobile["erasmus-fleet"] >= static_connected - 0.1
+    assert mobile["seda"] < mobile["erasmus-fleet"]
+    assert mobile["lisa-alpha"] < mobile["erasmus-fleet"]
+    assert mobile["seda"] < static["seda"]
+
+    # Real-prover rounds finish in network round-trip time, orders of
+    # magnitude below the on-demand instance duration.
+    durations = {row["protocol"]: row["duration_s"]
+                 for row in rows if row["speed"] == 6.0}
+    assert durations["erasmus-fleet"] < durations["seda"] / 10

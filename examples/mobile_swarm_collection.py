@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Relay collections over a 1,000-device mobile swarm (Section 6).
+
+A thousand SMART+ devices roam a 600 m x 600 m area under a
+random-waypoint mobility model; the verifier sits pinned at the center
+as the collection gateway.  Before every collection round the swarm
+relay transport rewires its topology to the geometric graph the devices
+form at that instant (and keeps re-sampling it while responses are in
+flight), so the collection runs over the links that actually exist —
+devices outside the gateway's connected component surface as lost
+responses, not errors.
+
+We sweep mobility speed and show the Section 6 claim on real provers:
+because an ERASMUS collection finishes in network round-trip time,
+coverage tracks the connected component and barely moves with speed,
+while the cost-model on-demand protocols (whose instances last as long
+as every device's measurement) collapse.
+
+Run with:  python examples/mobile_swarm_collection.py
+"""
+
+from repro.experiments import swarm_mobility_fleet
+
+DEVICES = 1000
+SPEEDS = (0.0, 4.0, 8.0)
+
+
+def main() -> None:
+    rows = swarm_mobility_fleet.run(
+        device_count=DEVICES, speeds=SPEEDS, area_size=600.0,
+        radio_range=60.0, rounds=2, round_gap=30.0, seed=7)
+    print(swarm_mobility_fleet.format_table(rows))
+
+    slowest, fastest = SPEEDS[0], SPEEDS[-1]
+    static = swarm_mobility_fleet.coverage_by_protocol(rows, slowest)
+    mobile = swarm_mobility_fleet.coverage_by_protocol(rows, fastest)
+    connected = swarm_mobility_fleet.connected_coverage_at(rows, fastest)
+    print(f"\nAt {fastest:.0f} m/s the fleet collection still reaches "
+          f"{mobile['erasmus-fleet']:.0%} of the swarm "
+          f"({connected:.0%} is connected to the gateway at round time), "
+          f"while SEDA drops from {static['seda']:.0%} to "
+          f"{mobile['seda']:.0%} and LISA-α from "
+          f"{static['lisa-alpha']:.0%} to {mobile['lisa-alpha']:.0%}.")
+
+
+if __name__ == "__main__":
+    main()

@@ -17,6 +17,7 @@ paper-vs-measured comparison.
 | ``irregular_intervals``   | Section 3.5 — schedule-aware malware       |
 | ``availability``          | Section 5 — availability / lenient windows |
 | ``swarm_mobility``        | Section 6 — swarm attestation & mobility   |
+| ``swarm_mobility_fleet``  | Section 6 on real provers (mobile relay)   |
 | ``fleet_collection``      | (repro-own) fleet collection throughput    |
 """
 
@@ -29,6 +30,7 @@ from repro.experiments import (
     irregular_intervals,
     qoa_detection,
     swarm_mobility,
+    swarm_mobility_fleet,
     table1_codesize,
     table2_collection,
 )
@@ -42,6 +44,7 @@ __all__ = [
     "irregular_intervals",
     "qoa_detection",
     "swarm_mobility",
+    "swarm_mobility_fleet",
     "table1_codesize",
     "table2_collection",
 ]

@@ -1,0 +1,195 @@
+"""Section 6 on real provers — fleet collections over a mobile swarm.
+
+The cost-model sweep in :mod:`repro.experiments.swarm_mobility` argues
+the Section 6 claim with :class:`~repro.swarm.device.SwarmDevice`
+timings only.  This harness runs the real thing: fleets of provisioned
+:class:`~repro.core.prover.ErasmusProver`\\ s collected over a
+:class:`~repro.fleet.SwarmRelayTransport` whose relay topology is
+rewired from a :class:`~repro.net.mobility.RandomWaypointMobility`
+model before every round (and on a periodic timer while packets are in
+flight), with the verifier pinned as a gateway inside the area.
+
+Each speed contributes one fleet row (real provers, real packets, real
+verification) plus — for comparability — the cost-model rows of the
+on-demand protocols (SEDA, LISA-α) over the same mobility parameters.
+Expected shape: the fleet collection's coverage tracks the gateway's
+connected component (devices outside it at round time are lost, not
+errors) and barely moves with speed, while the on-demand protocols'
+coverage collapses because their instance duration is dominated by
+every device's measurement computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.fleet import DeviceProfile, Fleet, SwarmRelayTransport
+from repro.net.mobility import RandomWaypointMobility
+from repro.swarm.device import build_swarm
+from repro.swarm.protocols import (
+    LisaAlphaProtocol,
+    SedaProtocol,
+    SwarmRAProtocol,
+)
+
+DEFAULT_SPEEDS: Sequence[float] = (0.0, 2.0, 6.0)
+
+#: Identifier the fleet rows carry in their ``protocol`` column.
+FLEET_PROTOCOL = "erasmus-fleet"
+
+
+def default_profile() -> DeviceProfile:
+    """The SMART+ profile the mobile-fleet rows are measured with."""
+    return DeviceProfile.smartplus(firmware=b"mobile-swarm-firmware",
+                                   application_size=512,
+                                   measurement_interval=60.0,
+                                   collection_interval=300.0,
+                                   buffer_slots=8)
+
+
+def _fleet_row(speed: float, device_count: int, area_size: float,
+               radio_range: float, seed: int, rounds: int,
+               round_gap: float, hop_latency: float,
+               rewire_interval: Optional[float],
+               profile: Optional[DeviceProfile]) -> Dict[str, object]:
+    """One speed's fleet collection: real provers over the mobile relay."""
+    profile = profile if profile is not None else default_profile()
+    names = [f"dev-{index:04d}" for index in range(device_count)]
+    mobility = RandomWaypointMobility(names, area_size=area_size,
+                                      radio_range=radio_range, speed=speed,
+                                      seed=seed, link_latency=hop_latency)
+    fleet = Fleet.provision(
+        profile, device_count, master_secret=b"mobile-swarm-master-secret",
+        transport=lambda engine: SwarmRelayTransport(
+            engine, hop_latency=hop_latency, mobility=mobility,
+            rewire_interval=rewire_interval))
+    with fleet:
+        fleet.run_until(profile.config.collection_interval)
+        coverages: List[float] = []
+        durations: List[float] = []
+        connected: List[float] = []
+        for round_index in range(rounds):
+            if round_index:
+                fleet.run_until(fleet.now + round_gap)
+            started = fleet.now
+            reports = fleet.collect_all(batch_size=device_count)
+            stats = reports.stats
+            coverages.append(stats.responses_received / stats.requests_sent)
+            durations.append(fleet.now - started)
+            connected.append(
+                len(fleet.transport.reachable_ids()) / device_count)
+        stale = fleet.transport.stale_responses_rejected
+    return {
+        "speed": speed,
+        "protocol": FLEET_PROTOCOL,
+        "kind": "fleet-provers",
+        "coverage": sum(coverages) / len(coverages),
+        "duration_s": sum(durations) / len(durations),
+        "connected_coverage": sum(connected) / len(connected),
+        "devices": device_count,
+        "rounds": rounds,
+        "stale_responses_rejected": stale,
+    }
+
+
+def _cost_model_rows(speed: float, device_count: int, area_size: float,
+                     radio_range: float, seed: int, repetitions: int,
+                     memory_bytes: int) -> List[Dict[str, object]]:
+    """The on-demand comparison rows, same mobility parameters."""
+    devices = build_swarm(device_count, memory_bytes=memory_bytes)
+    names = [device.device_id for device in devices]
+    protocols: List[SwarmRAProtocol] = [SedaProtocol(), LisaAlphaProtocol()]
+    rows: List[Dict[str, object]] = []
+    for protocol in protocols:
+        coverages: List[float] = []
+        durations: List[float] = []
+        for repetition in range(repetitions):
+            mobility = RandomWaypointMobility(
+                names, area_size=area_size, radio_range=radio_range,
+                speed=speed, seed=seed + repetition)
+            result = protocol.run(devices, mobility, gateway=names[0])
+            coverages.append(result.coverage)
+            durations.append(result.duration)
+        rows.append({
+            "speed": speed,
+            "protocol": protocol.name,
+            "kind": "cost-model",
+            "coverage": sum(coverages) / len(coverages),
+            "duration_s": sum(durations) / len(durations),
+            "connected_coverage": None,
+            "devices": device_count,
+            "rounds": repetitions,
+            "stale_responses_rejected": 0,
+        })
+    return rows
+
+
+def run(device_count: int = 40, speeds: Sequence[float] = DEFAULT_SPEEDS,
+        area_size: float = 120.0, radio_range: float = 45.0, seed: int = 3,
+        rounds: int = 3, round_gap: float = 30.0,
+        hop_latency: float = 0.002, rewire_interval: Optional[float] = 0.05,
+        profile: Optional[DeviceProfile] = None,
+        include_cost_model: bool = True,
+        memory_bytes: int = 10 * 1024) -> List[Dict[str, object]]:
+    """Sweep device speed over real provisioned fleets.
+
+    Per speed: provision ``device_count`` provers, let them self-measure
+    to the collection horizon, then run ``rounds`` relay-collection
+    rounds with ``round_gap`` seconds of mobility between them, the
+    topology re-sampled before every round (and every
+    ``rewire_interval`` seconds while responses are in flight).
+    ``include_cost_model`` adds the SEDA / LISA-α cost-model rows from
+    the same mobility parameters so the two result kinds land in one
+    table.
+    """
+    rows: List[Dict[str, object]] = []
+    for speed in speeds:
+        rows.append(_fleet_row(speed, device_count, area_size, radio_range,
+                               seed, rounds, round_gap, hop_latency,
+                               rewire_interval, profile))
+        if include_cost_model:
+            rows.extend(_cost_model_rows(speed, device_count, area_size,
+                                         radio_range, seed,
+                                         repetitions=rounds,
+                                         memory_bytes=memory_bytes))
+    return rows
+
+
+def coverage_by_protocol(rows: List[Dict[str, object]],
+                         speed: float) -> Dict[str, float]:
+    """Coverage of each protocol at one speed."""
+    return {str(row["protocol"]): float(row["coverage"])
+            for row in rows if row["speed"] == speed}
+
+
+def connected_coverage_at(rows: List[Dict[str, object]],
+                          speed: float) -> float:
+    """The fleet row's gateway-connected fraction at one speed."""
+    for row in rows:
+        if row["speed"] == speed and row["protocol"] == FLEET_PROTOCOL:
+            return float(row["connected_coverage"])
+    raise KeyError(f"no fleet row at speed {speed}")
+
+
+def format_table(rows: List[Dict[str, object]]) -> str:
+    """Render the mobile-fleet sweep as a text table."""
+    lines = ["Section 6 on real provers: relay collections vs mobility"]
+    lines.append(f"{'speed (m/s)':>12}{'protocol':>16}{'kind':>14}"
+                 f"{'coverage':>10}{'connected':>11}{'duration (s)':>14}")
+    for row in rows:
+        connected = row["connected_coverage"]
+        connected_text = f"{connected:>11.2f}" if connected is not None \
+            else f"{'-':>11}"
+        lines.append(f"{row['speed']:>12.1f}{row['protocol']:>16}"
+                     f"{row['kind']:>14}{row['coverage']:>10.2f}"
+                     f"{connected_text}{row['duration_s']:>14.3f}")
+    return "\n".join(lines)
+
+
+def main() -> None:
+    """Print the mobile-fleet sweep."""
+    print(format_table(run()))
+
+
+if __name__ == "__main__":
+    main()

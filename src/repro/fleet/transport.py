@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import abc
 import asyncio
-from typing import Callable, Dict, Mapping, Optional
+from typing import Callable, Dict, Mapping, Optional, Tuple
 
 from repro.core.protocol import (
     CollectRequest,
@@ -44,6 +44,7 @@ from repro.core.protocol import (
 from repro.core.prover import ErasmusProver
 from repro.fleet.profiles import ProvisionedDevice
 from repro.net.link import Link
+from repro.net.mobility import MobilityModel
 from repro.net.network import Network
 from repro.net.node import NetworkNode
 from repro.sim.engine import SimulationEngine
@@ -327,22 +328,46 @@ class SimulatedNetworkTransport(Transport):
     # ------------------------------------------------------------------
     # Topology
     # ------------------------------------------------------------------
-    def _attachment_point(self, device_id: str) -> str:
-        """Node the new device links to (the verifier, in a star)."""
+    def _attachment_point(self, device_id: str) -> Optional[str]:
+        """Node the new device links to (the verifier, in a star).
+
+        A pure query: implementations must not mutate transport state —
+        commit bookkeeping belongs in :meth:`_registered`, which only
+        runs once the registration has fully succeeded.  ``None`` means
+        the device gets no static link (mobility-driven topologies wire
+        links per round instead).
+        """
         del device_id
         return VERIFIER_NODE
 
+    def _registered(self, device_id: str) -> None:
+        """Commit hook: the device is fully registered (base: nothing)."""
+
     def register(self, device: ProvisionedDevice) -> None:
+        """Attach one device: node, static link (if any), prover dispatch.
+
+        Transactional: every fallible step runs before any transport
+        state is committed, and a failure rolls the added node back, so
+        a failed registration leaves the topology — and the parent
+        slots of every later registration — exactly as they were.
+        """
         device_id = device.device_id
         if device_id in self._provers:
             raise ValueError(f"duplicate device id {device_id!r}")
-        self._provers[device_id] = device.prover
+        attachment = self._attachment_point(device_id)
         self.network.add_node(
             NetworkNode(device_id, on_receive=self._prover_receives))
-        self.network.add_link(Link(
-            self._attachment_point(device_id), device_id,
-            latency=self.latency, bandwidth_bps=self.bandwidth_bps,
-            loss_probability=self.loss_probability))
+        if attachment is not None:
+            try:
+                self.network.add_link(Link(
+                    attachment, device_id,
+                    latency=self.latency, bandwidth_bps=self.bandwidth_bps,
+                    loss_probability=self.loss_probability))
+            except BaseException:
+                self.network.remove_node(device_id)
+                raise
+        self._provers[device_id] = device.prover
+        self._registered(device_id)
 
     # ------------------------------------------------------------------
     # Packet handlers
@@ -388,11 +413,15 @@ class SimulatedNetworkTransport(Transport):
     # ------------------------------------------------------------------
     # Round lifecycle
     # ------------------------------------------------------------------
+    def _prepare_round(self) -> None:
+        """Hook before a round launches (mobility rewires the topology)."""
+
     def _begin_round(self, requests: Mapping[str, bytes]) -> _PendingRound:
         """Validate, launch every request, and register the round."""
         for device_id in requests:
             if device_id not in self._provers:
                 raise KeyError(f"device {device_id!r} is not registered")
+        self._prepare_round()
         self._round += 1
         pending = _PendingRound(str(self._round), tuple(requests),
                                 deadline=self.engine.now + self.round_timeout)
@@ -488,14 +517,42 @@ class SimulatedNetworkTransport(Transport):
 
 
 class SwarmRelayTransport(SimulatedNetworkTransport):
-    """Collections relayed hop by hop through a swarm tree (Section 6).
+    """Collections relayed hop by hop through a swarm (Section 6).
 
-    Devices attach to the gateway in a ``fanout``-ary tree in
-    registration order; packets to and from deep devices are forwarded
-    by the intermediate devices.  Because an ERASMUS collection is just
-    a buffer read, the extra hops add only network delay — the property
-    that keeps collections viable in swarms where on-demand attestation
-    already fails.
+    Without a mobility model, devices attach to the gateway in a
+    ``fanout``-ary tree in registration order; packets to and from deep
+    devices are forwarded by the intermediate devices.  Because an
+    ERASMUS collection is just a buffer read, the extra hops add only
+    network delay — the property that keeps collections viable in
+    swarms where on-demand attestation already fails.
+
+    With ``mobility`` set, the relay topology is no longer a fixed
+    tree: before every collection round the transport samples
+    ``mobility.links_at(engine.now)`` and rewires the network to the
+    geometric graph the devices actually form at that instant, with the
+    verifier pinned as a gateway inside the mobility area — into a
+    private fork of the model when pinning is needed, so the caller's
+    instance is never mutated (see :attr:`mobility` for the model the
+    transport actually samples).  Devices
+    outside the gateway's connected component at round time simply
+    never answer — they surface as lost responses in the round's
+    :class:`~repro.fleet.sinks.RoundStats`, not as errors — and
+    :meth:`depth_of` / :meth:`is_reachable` become time-dependent
+    queries against the topology of the *latest* rewire.  At
+    ``speed=0`` the model degenerates to a static random geometric
+    graph, so every round sees the same topology and the same coverage.
+
+    ``rewire_interval`` additionally re-samples the topology on a
+    periodic engine timer while rounds are in flight, so multi-hop
+    responses can lose their path mid-round — the regime where
+    on-demand swarm protocols fall apart while the near-instant
+    ERASMUS collection survives.
+
+    Mobile links inherit their latency and bandwidth from the mobility
+    model (``link_latency`` / ``link_bandwidth_bps`` on
+    :class:`~repro.net.mobility.RandomWaypointMobility`); the
+    transport's ``hop_latency`` only shapes the static fanout tree,
+    while its ``loss_probability`` applies to both.
     """
 
     name = "swarm-relay"
@@ -504,29 +561,175 @@ class SwarmRelayTransport(SimulatedNetworkTransport):
                  hop_latency: float = 0.01,
                  bandwidth_bps: float = 10_000_000.0,
                  loss_probability: float = 0.0,
-                 round_timeout: float = 60.0, seed: int = 0) -> None:
+                 round_timeout: float = 60.0, seed: int = 0,
+                 mobility: Optional[MobilityModel] = None,
+                 gateway_position: Optional[Tuple[float, float]] = None,
+                 rewire_interval: Optional[float] = None) -> None:
         if fanout < 1:
             raise ValueError("fanout must be at least 1")
+        if rewire_interval is not None and rewire_interval <= 0:
+            raise ValueError("rewire interval must be positive")
+        if rewire_interval is not None and mobility is None:
+            raise ValueError("rewire_interval requires a mobility model")
+        if gateway_position is not None and mobility is None:
+            raise ValueError("gateway_position requires a mobility model")
         super().__init__(engine, latency=hop_latency,
                          bandwidth_bps=bandwidth_bps,
                          loss_probability=loss_probability,
                          round_timeout=round_timeout, seed=seed)
         self.fanout = fanout
+        self.mobility = mobility
+        self.rewire_interval = rewire_interval
+        #: Number of topology rewires sampled from the mobility model.
+        self.rewires = 0
+        self._rewire_timer_armed = False
         self._ordered_ids: list[str] = []
+        if mobility is not None:
+            self.mobility = self._adopt_mobility(mobility, gateway_position)
+            self._mobile_names = set(mobility.device_names())
+        else:
+            self._mobile_names = set()
 
-    def _attachment_point(self, device_id: str) -> str:
+    @staticmethod
+    def _adopt_mobility(mobility: MobilityModel,
+                        gateway_position: Optional[Tuple[float, float]]
+                        ) -> MobilityModel:
+        """The model this transport samples, gateway included.
+
+        A model that already accounts for the gateway — the verifier is
+        one of its :meth:`~repro.net.mobility.MobilityModel.
+        device_names` or it is pinned — is adopted as-is (and stays
+        shared with the caller).  Otherwise the model must expose
+        ``pin()`` (see :class:`~repro.net.mobility.
+        RandomWaypointMobility`) and the gateway is anchored at
+        ``gateway_position`` (default: the center of the model's area)
+        — into a private :meth:`~repro.net.mobility.
+        RandomWaypointMobility.fork` when the model supports forking,
+        so the caller's model is never mutated and keeps producing the
+        gateway-free swarm it was built for (e.g. for a cost-model
+        comparison run over the same parameters).
+        """
+        pinned = getattr(mobility, "pinned_names", None)
+        already_covered = VERIFIER_NODE in mobility.device_names() or \
+            (callable(pinned) and VERIFIER_NODE in pinned())
+        if already_covered:
+            if gateway_position is not None:
+                raise ValueError(
+                    f"{VERIFIER_NODE!r} is already part of the mobility "
+                    f"model; gateway_position cannot move it")
+            return mobility
+        pin = getattr(mobility, "pin", None)
+        if not callable(pin):
+            raise TypeError(
+                f"mobility model {type(mobility).__name__} does not cover "
+                f"the {VERIFIER_NODE!r} gateway: include it in "
+                f"device_names() (emitting its links from links_at), or "
+                f"provide a pin() method for the transport to anchor it")
+        if gateway_position is None:
+            area = getattr(mobility, "area_size", None)
+            if area is None:
+                raise ValueError(
+                    "gateway_position is required for mobility models "
+                    "without an area_size")
+            gateway_position = (area / 2.0, area / 2.0)
+        fork = getattr(mobility, "fork", None)
+        if callable(fork):
+            mobility = fork()
+        mobility.pin(VERIFIER_NODE, *gateway_position)
+        return mobility
+
+    # ------------------------------------------------------------------
+    # Topology
+    # ------------------------------------------------------------------
+    def _attachment_point(self, device_id: str) -> Optional[str]:
+        if self.mobility is not None:
+            # Mobile swarms get no static link: the geometric graph is
+            # wired per round by `rewire`.
+            if device_id not in self._mobile_names:
+                raise ValueError(
+                    f"device {device_id!r} is not part of the mobility "
+                    f"model; known devices: {len(self._mobile_names)}")
+            return None
         # The first `fanout` devices parent to the gateway; device i
         # then parents to device (i // fanout) - 1, giving every relay
         # exactly `fanout` children.
         index = len(self._ordered_ids)
-        self._ordered_ids.append(device_id)
         if index < self.fanout:
             return VERIFIER_NODE
         return self._ordered_ids[(index // self.fanout) - 1]
 
+    def _registered(self, device_id: str) -> None:
+        self._ordered_ids.append(device_id)
+
+    def rewire(self, time: Optional[float] = None) -> int:
+        """Re-sample the topology from the mobility model; return link count.
+
+        Samples ``mobility.links_at(time)`` (default: the engine clock)
+        and replaces the network's links with the geometric graph,
+        keeping only links between nodes that are actually registered
+        (the mobility model may know devices that never enrolled).  The
+        transport's ``loss_probability`` applies to every rewired link.
+        Packets already in flight keep travelling where their next hop
+        survived and are dropped — settled exactly once — where it did
+        not (see :meth:`repro.net.Network.set_links`).
+        """
+        if self.mobility is None:
+            raise RuntimeError("rewire requires a mobility model")
+        if time is None:
+            time = self.engine.now
+        known = self.network.graph.nodes
+        links = [Link(link.node_a, link.node_b, latency=link.latency,
+                      bandwidth_bps=link.bandwidth_bps,
+                      loss_probability=self.loss_probability)
+                 for link in self.mobility.links_at(time)
+                 if link.node_a in known and link.node_b in known]
+        self.network.set_links(links)
+        self.rewires += 1
+        return len(links)
+
+    def _prepare_round(self) -> None:
+        if self.mobility is None:
+            return
+        self.rewire()
+        if self.rewire_interval is not None:
+            self._arm_rewire_timer()
+
+    def _arm_rewire_timer(self) -> None:
+        """Keep re-sampling the topology while any round is in flight."""
+        if self._rewire_timer_armed:
+            return
+        self._rewire_timer_armed = True
+        self.engine.schedule_in(self.rewire_interval, self._rewire_tick)
+
+    def _rewire_tick(self, _event) -> None:
+        self._rewire_timer_armed = False
+        if not self._pending:
+            # No round in flight: stop ticking until the next round.
+            return
+        self.rewire()
+        self._arm_rewire_timer()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     def depth_of(self, device_id: str) -> int:
-        """Number of hops between the device and the gateway."""
+        """Number of hops between the device and the gateway.
+
+        With a mobility model this is a time-dependent query: it
+        reflects the topology of the latest :meth:`rewire` and raises
+        :class:`KeyError` for a device currently outside the gateway's
+        connected component (check :meth:`is_reachable` first).
+        """
         path = self.network.path(VERIFIER_NODE, device_id)
         if path is None:
             raise KeyError(f"device {device_id!r} is not reachable")
         return len(path) - 1
+
+    def is_reachable(self, device_id: str) -> bool:
+        """True when the gateway currently has a route to the device."""
+        return self.network.path(VERIFIER_NODE, device_id) is not None
+
+    def reachable_ids(self) -> list[str]:
+        """Registered devices currently routable from the gateway."""
+        return [device_id for device_id in self._provers
+                if self.is_reachable(device_id)]

@@ -13,10 +13,11 @@ re-sampled as the devices move.
 from __future__ import annotations
 
 import abc
+import copy
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 from repro.net.link import Link
 
@@ -72,6 +73,9 @@ class RandomWaypointMobility(MobilityModel):
         self._random = random.Random(seed)
         self._positions: Dict[str, DevicePosition] = {
             name: self._spawn_position() for name in self._names}
+        #: Static anchors (e.g. the collection gateway) that take part in
+        #: the geometric graph but never move; see :meth:`pin`.
+        self._pinned: Dict[str, DevicePosition] = {}
         self._last_update = 0.0
 
     def _spawn_position(self) -> DevicePosition:
@@ -84,12 +88,34 @@ class RandomWaypointMobility(MobilityModel):
         )
 
     def device_names(self) -> List[str]:
-        """Names of the mobile devices."""
+        """Names of the mobile devices (pinned anchors excluded)."""
         return list(self._names)
 
+    def pin(self, name: str, x: float, y: float) -> None:
+        """Anchor a static node (e.g. a gateway) into the geometric graph.
+
+        The pinned node never moves but participates in link formation
+        exactly like a device, so a collection gateway placed inside the
+        area is reachable from whichever devices currently roam within
+        radio range of it.  Pinned nodes are not returned by
+        :meth:`device_names` — they are infrastructure, not swarm
+        members.
+        """
+        if name in self._positions or name in self._pinned:
+            raise ValueError(f"{name!r} is already part of this model")
+        if not (0.0 <= x <= self.area_size and 0.0 <= y <= self.area_size):
+            raise ValueError(f"pinned position {(x, y)} is outside the "
+                             f"{self.area_size} x {self.area_size} area")
+        self._pinned[name] = DevicePosition(x=x, y=y, target_x=x, target_y=y,
+                                            speed=0.0)
+
+    def pinned_names(self) -> List[str]:
+        """Names of the static anchors added via :meth:`pin`."""
+        return list(self._pinned)
+
     def position_of(self, name: str) -> tuple[float, float]:
-        """Current (x, y) of one device."""
-        position = self._positions[name]
+        """Current (x, y) of one device or pinned anchor."""
+        position = self._positions.get(name) or self._pinned[name]
         return (position.x, position.y)
 
     def _advance(self, elapsed: float) -> None:
@@ -116,43 +142,83 @@ class RandomWaypointMobility(MobilityModel):
                     remaining = 0.0
 
     def links_at(self, time: float) -> List[Link]:
-        """Advance positions to ``time`` and return the current links."""
+        """Advance positions to ``time`` and return the current links.
+
+        Candidate pairs come from a uniform grid of ``radio_range``-sized
+        cells (a pair can only be in range if their cells are adjacent),
+        so densely populated swarms avoid the all-pairs distance scan;
+        the returned links are ordered exactly as the all-pairs scan
+        would order them.
+        """
         elapsed = time - self._last_update
         if elapsed < 0:
             raise ValueError("mobility time cannot move backwards")
         if elapsed > 0:
             self._advance(elapsed)
             self._last_update = time
+        names = self._names + list(self._pinned)
+        positions = [self._positions.get(name) or self._pinned[name]
+                     for name in names]
+        cell = self.radio_range
+        buckets: Dict[Tuple[int, int], List[int]] = {}
+        for index, position in enumerate(positions):
+            key = (int(position.x // cell), int(position.y // cell))
+            buckets.setdefault(key, []).append(index)
         links: List[Link] = []
-        for index, first in enumerate(self._names):
-            for second in self._names[index + 1:]:
-                first_position = self._positions[first]
-                second_position = self._positions[second]
+        for index, first_position in enumerate(positions):
+            cell_x = int(first_position.x // cell)
+            cell_y = int(first_position.y // cell)
+            candidates: List[int] = []
+            for dx in (-1, 0, 1):
+                for dy in (-1, 0, 1):
+                    candidates.extend(
+                        buckets.get((cell_x + dx, cell_y + dy), ()))
+            for other in sorted(candidates):
+                if other <= index:
+                    continue
+                second_position = positions[other]
                 distance = math.hypot(first_position.x - second_position.x,
                                       first_position.y - second_position.y)
                 if distance <= self.radio_range:
-                    links.append(Link(first, second,
+                    links.append(Link(names[index], names[other],
                                       latency=self.link_latency,
                                       bandwidth_bps=self.link_bandwidth_bps))
         return links
+
+    def fork(self) -> "RandomWaypointMobility":
+        """An independent copy: same positions, waypoints and RNG state.
+
+        Advancing the fork never perturbs this model, so diagnostics
+        (e.g. :meth:`churn_rate`) can look ahead — and a transport can
+        pin a gateway into its private copy — without changing what a
+        protocol run on the original model will see.  A deep copy, so
+        subclasses (custom dynamics, extra state) fork faithfully.
+        """
+        return copy.deepcopy(self)
 
     def churn_rate(self, horizon: float, step: float = 1.0) -> float:
         """Fraction of links that change per step over a time horizon.
 
         Used by the swarm experiments to characterize "how mobile" a
-        deployment is independently of the protocol under test.
+        deployment is independently of the protocol under test.  The
+        measurement runs on a :meth:`fork`, so looking ahead never
+        advances this model's positions or RNG — ``links_at`` after a
+        ``churn_rate`` call returns exactly what it would have returned
+        without it.
         """
         if horizon <= 0 or step <= 0:
             raise ValueError("horizon and step must be positive")
-        start = self._last_update
+        probe = self.fork()
+        start = probe._last_update
         previous = {(link.node_a, link.node_b)
-                    for link in self.links_at(start)}
+                    for link in probe.links_at(start)}
         changes = 0
         samples = 0
         time = start
         while time < start + horizon:
             time += step
-            current = {(link.node_a, link.node_b) for link in self.links_at(time)}
+            current = {(link.node_a, link.node_b)
+                       for link in probe.links_at(time)}
             union = previous | current
             if union:
                 changes += len(previous ^ current) / len(union)

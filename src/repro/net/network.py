@@ -29,6 +29,14 @@ class Network:
         self.graph = nx.Graph()
         self._nodes: Dict[str, NetworkNode] = {}
         self._random = random.Random(seed)
+        # Shortest-path trees cached per topology version: one Dijkstra
+        # from a queried source serves every destination (and, the graph
+        # being undirected, the reverse direction too), so a rewired
+        # swarm pays one route computation per rewire rather than one
+        # per packet.
+        self._topology_version = 0
+        self._path_cache: Dict[str, Dict[str, list]] = {}
+        self._path_cache_version = -1
         self.delivered_packets = 0
         self.dropped_packets = 0
         self.unroutable_packets = 0
@@ -68,18 +76,33 @@ class Network:
         """All attached nodes."""
         return list(self._nodes.values())
 
+    def remove_node(self, name: str) -> None:
+        """Detach a node and every link incident to it.
+
+        Packets already in flight towards the removed node are lost and
+        settled as dropped, the same way a removed link loses them.
+        """
+        node = self._nodes.pop(name, None)
+        if node is None:
+            return
+        node.network = None
+        self.graph.remove_node(name)
+        self._topology_version += 1
+
     def add_link(self, link: Link) -> Link:
         """Connect two existing nodes with a link."""
         for endpoint in link.endpoints():
             if endpoint not in self._nodes:
                 raise KeyError(f"link endpoint {endpoint!r} is not a node")
         self.graph.add_edge(link.node_a, link.node_b, link=link)
+        self._topology_version += 1
         return link
 
     def remove_link(self, first: str, second: str) -> None:
         """Remove the link between two nodes, if present."""
         if self.graph.has_edge(first, second):
             self.graph.remove_edge(first, second)
+            self._topology_version += 1
 
     def link_between(self, first: str, second: str) -> Optional[Link]:
         """The link joining two nodes, if any."""
@@ -88,8 +111,16 @@ class Network:
         return self.graph.edges[first, second]["link"]
 
     def set_links(self, links: Iterable[Link]) -> None:
-        """Replace the entire set of links (used by mobility models)."""
+        """Replace the entire set of links (used by mobility models).
+
+        Packets in flight keep their admitted state across the rewire:
+        a packet whose next hop survived keeps travelling, a packet
+        whose next hop was removed is dropped — and settled exactly once
+        — when it reaches the gap.  No packet is ever re-admitted or
+        settled twice, however many rewires happen while it travels.
+        """
         self.graph.remove_edges_from(list(self.graph.edges))
+        self._topology_version += 1
         for link in links:
             self.add_link(link)
 
@@ -105,13 +136,34 @@ class Network:
     # Packet delivery
     # ------------------------------------------------------------------
     def path(self, source: str, destination: str) -> Optional[list[str]]:
-        """Current shortest path (by link latency), or ``None``."""
-        try:
-            return nx.shortest_path(
-                self.graph, source, destination,
+        """Current shortest path (by link latency), or ``None``.
+
+        Routes come from a per-source shortest-path tree cached until
+        the next topology change; a tree cached for either endpoint
+        answers both directions (links are bidirectional with symmetric
+        latency), so one collection round's worth of request *and*
+        response packets costs a single Dijkstra run.
+        """
+        if source == destination:
+            return [source] if source in self.graph else None
+        if self._path_cache_version != self._topology_version:
+            self._path_cache = {}
+            self._path_cache_version = self._topology_version
+        tree = self._path_cache.get(source)
+        if tree is None:
+            reverse_tree = self._path_cache.get(destination)
+            if reverse_tree is not None:
+                reverse = reverse_tree.get(source)
+                return list(reversed(reverse)) if reverse is not None \
+                    and len(reverse) >= 2 else None
+            if source not in self.graph:
+                return None
+            tree = nx.single_source_dijkstra_path(
+                self.graph, source,
                 weight=lambda u, v, data: data["link"].latency)
-        except (nx.NetworkXNoPath, nx.NodeNotFound):
-            return None
+            self._path_cache[source] = tree
+        route = tree.get(destination)
+        return list(route) if route is not None and len(route) >= 2 else None
 
     def transmit(self, packet: Packet) -> bool:
         """Send a packet along the current shortest path.
@@ -153,12 +205,18 @@ class Network:
 
         def _arrive(_event) -> None:
             if hop_index + 2 >= len(route):
+                destination = self._nodes.get(route[-1])
+                if destination is None:
+                    # The destination left the network mid-flight.
+                    self.dropped_packets += 1
+                    self._settle(packet, "dropped")
+                    return
                 self.delivered_packets += 1
                 # Count delivery before the handler runs: the handler
                 # may transmit a reply, which is a new in-flight packet.
                 self._settle(packet, "delivered")
-                self._nodes[route[-1]].deliver(
-                    packet.forwarded(route[-1]), self.engine.now)
+                destination.deliver(packet.forwarded(route[-1]),
+                                    self.engine.now)
             else:
                 self._schedule_hop(packet, route, hop_index + 1,
                                    self.engine.now)

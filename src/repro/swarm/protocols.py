@@ -62,7 +62,11 @@ class _TopologySampler:
         self._last_step = -1
 
     def _step_for(self, time: float) -> int:
-        return max(0, int(math.floor((time - self._start) / self._resolution)))
+        if time < self._start:
+            raise ValueError(
+                f"topology queried at {time} before protocol start "
+                f"{self._start}; pre-start times have no snapshot")
+        return int(math.floor((time - self._start) / self._resolution))
 
     def _ensure(self, step: int) -> None:
         while self._last_step < step:

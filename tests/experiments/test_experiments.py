@@ -10,6 +10,7 @@ from repro.experiments import (
     irregular_intervals,
     qoa_detection,
     swarm_mobility,
+    swarm_mobility_fleet,
     table1_codesize,
     table2_collection,
 )
@@ -161,6 +162,34 @@ class TestSwarmMobility:
         assert durations["erasmus-collection"] < durations["seda"] / 10
 
 
+class TestSwarmMobilityFleet:
+    def test_real_provers_survive_mobility_on_demand_does_not(self):
+        rows = swarm_mobility_fleet.run(device_count=24, speeds=(0.0, 6.0),
+                                        rounds=2)
+        static = swarm_mobility_fleet.coverage_by_protocol(rows, 0.0)
+        mobile = swarm_mobility_fleet.coverage_by_protocol(rows, 6.0)
+        static_connected = swarm_mobility_fleet.connected_coverage_at(rows,
+                                                                      0.0)
+        # Speed 0: coverage is exactly the gateway's static component.
+        assert static["erasmus-fleet"] == pytest.approx(static_connected)
+        # Mobility: the fleet collection holds, the cost-model on-demand
+        # protocols drop.
+        assert mobile["erasmus-fleet"] >= static_connected - 0.1
+        assert mobile["seda"] < mobile["erasmus-fleet"]
+        assert mobile["lisa-alpha"] < static["lisa-alpha"]
+
+    def test_fleet_round_finishes_in_network_time(self):
+        rows = swarm_mobility_fleet.run(device_count=16, speeds=(6.0,),
+                                        rounds=1)
+        durations = {row["protocol"]: row["duration_s"] for row in rows}
+        assert durations["erasmus-fleet"] < durations["seda"] / 10
+
+    def test_cost_model_rows_are_optional(self):
+        rows = swarm_mobility_fleet.run(device_count=10, speeds=(0.0,),
+                                        rounds=1, include_cost_model=False)
+        assert [row["protocol"] for row in rows] == ["erasmus-fleet"]
+
+
 def test_all_format_tables_render():
     assert "Figure 6" in fig6_msp430_runtime.format_table(
         fig6_msp430_runtime.run(memory_sizes_kb=(1, 2)))
@@ -173,5 +202,7 @@ def test_all_format_tables_render():
         availability.run(window_factors=(1.0,), horizon=3600.0))
     assert "swarm" in swarm_mobility.format_table(
         swarm_mobility.run(device_count=8, speeds=(0.0,), repetitions=1))
+    assert "real provers" in swarm_mobility_fleet.format_table(
+        swarm_mobility_fleet.run(device_count=8, speeds=(0.0,), rounds=1))
     assert "ERASMUS" in qoa_detection.format_table(
         qoa_detection.run(horizon=24 * 3600.0, dwell_fractions=(1.0,)))

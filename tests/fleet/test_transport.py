@@ -136,6 +136,48 @@ def test_swarm_relay_builds_multi_hop_tree(profile):
     assert engine.now > before + 2 * 0.01
 
 
+def test_failed_register_leaves_tree_shape_unchanged(profile):
+    """A failed registration must not skew later devices' parent slots."""
+    engine = SimulationEngine()
+    transport = SwarmRelayTransport(engine, fanout=2, hop_latency=0.01)
+    control = SwarmRelayTransport(SimulationEngine(), fanout=2,
+                                  hop_latency=0.01)
+    provision_into(transport, profile, engine, 3)
+    provision_into(control, profile, control.engine, 3)
+
+    doomed = profile.provision("t-doomed", master_secret=b"master")
+    original_add_link = transport.network.add_link
+
+    def exploding_add_link(link):
+        raise RuntimeError("link setup failed")
+
+    transport.network.add_link = exploding_add_link
+    with pytest.raises(RuntimeError):
+        transport.register(doomed)
+    transport.network.add_link = original_add_link
+
+    # Nothing about the failed device stuck around...
+    with pytest.raises(KeyError):
+        transport.network.node("t-doomed")
+    with pytest.raises(KeyError):
+        transport.exchange("t-doomed", collect_request_bytes(profile))
+
+    # ...and the devices registered afterwards parent exactly as they
+    # would have without the failure.
+    for index in range(3, 7):
+        device = profile.provision(f"t-{index}", master_secret=b"master")
+        device.prover.attach(engine)
+        transport.register(device)
+        twin = profile.provision(f"t-{index}", master_secret=b"master")
+        twin.prover.attach(control.engine)
+        control.register(twin)
+    for index in range(7):
+        assert transport.depth_of(f"t-{index}") == \
+            control.depth_of(f"t-{index}")
+    assert transport.network.neighbors(f"t-0") == \
+        control.network.neighbors(f"t-0")
+
+
 def test_stale_response_from_timed_out_round_is_discarded(profile):
     """A response still in flight when its round times out must not be
     recorded as the next round's answer."""

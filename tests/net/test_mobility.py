@@ -67,6 +67,104 @@ def test_zero_speed_churn_is_zero():
     assert mobility.churn_rate(horizon=10.0, step=1.0) == 0.0
 
 
+def links_set(mobility, time):
+    return {(l.node_a, l.node_b) for l in mobility.links_at(time)}
+
+
+def test_churn_rate_does_not_perturb_the_model():
+    """Diagnosing mobility must not advance the model it measures."""
+    probed = RandomWaypointMobility(NAMES, area_size=80.0, radio_range=25.0,
+                                    speed=4.0, seed=11)
+    control = RandomWaypointMobility(NAMES, area_size=80.0, radio_range=25.0,
+                                     speed=4.0, seed=11)
+    rate = probed.churn_rate(horizon=30.0, step=1.0)
+    assert rate > 0.0
+    # links_at after the probe returns exactly what it would have
+    # returned without it, at every subsequent sample.
+    for time in (0.0, 5.0, 20.0, 60.0):
+        assert links_set(probed, time) == links_set(control, time)
+        for name in NAMES:
+            assert probed.position_of(name) == control.position_of(name)
+
+
+def test_churn_rate_is_repeatable():
+    mobility = RandomWaypointMobility(NAMES, area_size=80.0, radio_range=25.0,
+                                      speed=4.0, seed=12)
+    first = mobility.churn_rate(horizon=20.0, step=1.0)
+    second = mobility.churn_rate(horizon=20.0, step=1.0)
+    assert first == second
+
+
+def test_fork_is_independent():
+    mobility = RandomWaypointMobility(NAMES, speed=3.0, seed=13)
+    mobility.links_at(10.0)
+    fork = mobility.fork()
+    assert links_set(fork, 10.0) == links_set(mobility, 10.0)
+    fork.links_at(50.0)  # advancing the fork must not advance the
+    mobility.links_at(11.0)  # original past its own clock (would raise)
+
+
+def test_fork_preserves_subclass_dynamics():
+    """fork() must clone the subclass, not flatten it to the base model."""
+
+    class FrozenSwarm(RandomWaypointMobility):
+        def _advance(self, elapsed):
+            pass  # custom dynamics: nobody ever moves
+
+    mobility = FrozenSwarm(NAMES, area_size=80.0, radio_range=25.0,
+                           speed=5.0, seed=17)
+    fork = mobility.fork()
+    assert type(fork) is FrozenSwarm
+    assert links_set(fork, 100.0) == links_set(mobility, 100.0)
+    # churn_rate probes through fork(): frozen dynamics mean zero churn,
+    # which a base-class clone at speed 5 would not report.
+    assert mobility.churn_rate(horizon=10.0, step=1.0) == 0.0
+
+
+def test_pinned_anchor_joins_the_geometric_graph():
+    mobility = RandomWaypointMobility(["roamer"], area_size=50.0,
+                                      radio_range=80.0, speed=0.0, seed=14)
+    mobility.pin("gateway", 25.0, 25.0)
+    assert mobility.pinned_names() == ["gateway"]
+    assert "gateway" not in mobility.device_names()
+    assert mobility.position_of("gateway") == (25.0, 25.0)
+    # Radio range covers the whole area: the link must exist.
+    assert {"gateway"} <= {name for link in mobility.links_at(0.0)
+                           for name in link.endpoints()}
+
+
+def test_pin_rejects_duplicates_and_out_of_area_positions():
+    mobility = RandomWaypointMobility(NAMES, area_size=50.0, seed=15)
+    mobility.pin("gw", 10.0, 10.0)
+    with pytest.raises(ValueError):
+        mobility.pin("gw", 20.0, 20.0)
+    with pytest.raises(ValueError):
+        mobility.pin(NAMES[0], 20.0, 20.0)
+    with pytest.raises(ValueError):
+        mobility.pin("outside", 60.0, 10.0)
+
+
+def test_grid_candidate_search_matches_all_pairs_scan():
+    """The bucketed links_at must equal the brute-force O(n^2) scan."""
+    import math
+
+    mobility = RandomWaypointMobility([f"n{i}" for i in range(40)],
+                                      area_size=90.0, radio_range=17.0,
+                                      speed=2.5, seed=16)
+    mobility.pin("anchor", 45.0, 45.0)
+    for time in (0.0, 7.0, 31.0):
+        links = [(l.node_a, l.node_b) for l in mobility.links_at(time)]
+        names = mobility.device_names() + mobility.pinned_names()
+        expected = []
+        for index, first in enumerate(names):
+            for second in names[index + 1:]:
+                ax, ay = mobility.position_of(first)
+                bx, by = mobility.position_of(second)
+                if math.hypot(ax - bx, ay - by) <= 17.0:
+                    expected.append((first, second))
+        assert links == expected
+
+
 def test_invalid_parameters_rejected():
     with pytest.raises(ValueError):
         RandomWaypointMobility([], speed=1.0)

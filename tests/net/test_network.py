@@ -149,6 +149,112 @@ def test_settlement_listener_reports_drops():
     assert network.in_flight_packets == 0
 
 
+def settlement_recorder(network):
+    admitted, settled = [], []
+    network.on_packet_admitted.append(lambda packet: admitted.append(packet))
+    network.on_packet_settled.append(
+        lambda packet, outcome: settled.append((packet, outcome)))
+    return admitted, settled
+
+
+def test_set_links_mid_flight_drops_and_settles_exactly_once():
+    """A packet whose next hop was rewired away settles once, as dropped.
+
+    A hop a packet is already traversing always completes; the drop
+    happens when the *next* hop is due and its link is gone.
+    """
+    engine, network, received = build_network(
+        ["a", "b", "c"],
+        [Link("a", "b", latency=0.01), Link("b", "c", latency=0.01)])
+    admitted, settled = settlement_recorder(network)
+    network.node("a").send("c", b"doomed")
+    engine.run(until=0.005)  # still on the a->b hop
+    network.set_links([Link("a", "b", latency=0.01)])  # b->c removed
+    engine.run()
+    assert not received
+    assert len(admitted) == 1
+    assert [(p.destination, outcome) for p, outcome in settled] == \
+        [("c", "dropped")]
+    assert network.in_flight_packets == 0
+    assert network.dropped_packets == 1
+
+
+def test_set_links_survivors_keep_delivering():
+    engine, network, received = build_network(
+        ["a", "r1", "r2", "b", "c"],
+        [Link("a", "r1", latency=0.01), Link("r1", "b", latency=0.01),
+         Link("a", "r2", latency=0.01), Link("r2", "c", latency=0.01)])
+    _admitted, settled = settlement_recorder(network)
+    network.node("a").send("b", b"lost")
+    network.node("a").send("c", b"survives")
+    engine.run(until=0.005)  # both packets still on their first hop
+    # Rewire: the relay towards b loses its second hop, c's survives.
+    network.set_links([Link("a", "r1", latency=0.01),
+                       Link("a", "r2", latency=0.01),
+                       Link("r2", "c", latency=0.01)])
+    engine.run()
+    assert [(name, payload) for name, payload, _ in received] == \
+        [("c", b"survives")]
+    outcomes = {p.destination: outcome for p, outcome in settled}
+    assert outcomes == {"b": "dropped", "c": "delivered"}
+    assert network.in_flight_packets == 0
+
+
+def test_repeated_rewires_settle_each_admitted_packet_exactly_once():
+    """However many rewires happen in flight, settlement stays 1:1."""
+    chain = [Link("a", "b", latency=0.01), Link("b", "c", latency=0.01),
+             Link("c", "d", latency=0.01)]
+    engine, network, received = build_network(["a", "b", "c", "d"], chain)
+    admitted, settled = settlement_recorder(network)
+    for index in range(3):
+        network.node("a").send("d", f"p{index}".encode())
+    # Rewire to the identical topology twice (packets keep travelling),
+    # then cut the last hop while they are mid-path: they drop when the
+    # missing hop comes due, and never settle a second time.
+    engine.run(until=0.005)
+    network.set_links(chain)
+    engine.run(until=0.012)
+    network.set_links(chain)
+    engine.run(until=0.015)
+    network.set_links(chain[:2])
+    engine.run()
+    assert not received
+    assert len(admitted) == 3
+    assert len(settled) == 3  # exactly once each, across four topologies
+    assert network.in_flight_packets == 0
+    assert network.dropped_packets == 3
+
+
+def test_remove_node_mid_flight_drops_at_the_gap():
+    engine, network, received = build_network(
+        ["a", "b"], [Link("a", "b", latency=0.01)])
+    _admitted, settled = settlement_recorder(network)
+    network.node("a").send("b", b"to nobody")
+    network.remove_node("b")
+    engine.run()
+    assert not received
+    assert [outcome for _p, outcome in settled] == ["dropped"]
+    assert network.in_flight_packets == 0
+    with pytest.raises(KeyError):
+        network.node("b")
+    network.remove_node("b")  # removing twice is a no-op
+
+
+def test_path_cache_tracks_topology_changes_both_directions():
+    engine, network, _received = build_network(
+        ["a", "b", "c"],
+        [Link("a", "b", latency=0.01), Link("b", "c", latency=0.01)])
+    forward = network.path("a", "c")
+    assert forward == ["a", "b", "c"]
+    # The reverse direction answers from the same cached tree.
+    assert network.path("c", "a") == ["c", "b", "a"]
+    network.remove_link("b", "c")
+    assert network.path("a", "c") is None
+    network.add_link(Link("a", "c", latency=0.01))
+    assert network.path("a", "c") == ["a", "c"]
+    del engine
+
+
 def test_unroutable_packet_is_never_admitted():
     engine, network, _received = build_network(["a", "b"], [])
     admitted = []

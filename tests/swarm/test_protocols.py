@@ -116,3 +116,17 @@ def test_build_swarm_validation():
     assert len({device.device_id for device in devices}) == 3
     assert devices[0].attestation_service_time(on_demand=True) > \
         devices[0].attestation_service_time(on_demand=False)
+
+
+def test_topology_query_before_start_raises():
+    """A pre-start query must fail loudly, not alias the start snapshot."""
+    from repro.swarm.protocols import _TopologySampler
+
+    mobility = make_mobility([f"dev{i}" for i in range(6)], speed=2.0)
+    sampler = _TopologySampler(mobility, start_time=10.0)
+    start_edges = sampler.edges_at(10.0)
+    assert sampler.edges_at(10.05) == start_edges  # same snapshot step
+    with pytest.raises(ValueError):
+        sampler.edges_at(9.9)
+    with pytest.raises(ValueError):
+        sampler.link_alive("dev0", "dev1", 0.0)
