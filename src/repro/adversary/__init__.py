@@ -18,8 +18,22 @@ The paper's threat model features:
 Each model drives a prover through the simulation engine and records
 what it did, so the analysis layer can compare ground truth against
 what the verifier detected.
+
+The single-device classes target one ``SecurityArchitecture``; their
+fleet-native counterparts in :mod:`repro.adversary.fleet` pick victims
+from a provisioned fleet roster, schedule onto the shared simulation
+engine and record per-device ground truth for the campaign engine
+(:mod:`repro.campaign`).
 """
 
+from repro.adversary.fleet import (
+    DEFAULT_MALICIOUS_IMAGE,
+    FleetAdversary,
+    FleetMobileMalware,
+    FleetPersistentMalware,
+    FleetScheduleAwareMalware,
+    FleetTamperingMalware,
+)
 from repro.adversary.malware import (
     Infection,
     MalwareCampaign,
@@ -31,6 +45,12 @@ from repro.adversary.tamper import ClockRewindAttempt, TamperingMalware
 
 __all__ = [
     "ClockRewindAttempt",
+    "DEFAULT_MALICIOUS_IMAGE",
+    "FleetAdversary",
+    "FleetMobileMalware",
+    "FleetPersistentMalware",
+    "FleetScheduleAwareMalware",
+    "FleetTamperingMalware",
     "Infection",
     "MalwareCampaign",
     "MobileMalware",

@@ -9,8 +9,11 @@ simulation tests.
 
 from repro.analysis.detection import (
     DetectionSummary,
+    FleetDetectionSummary,
     detection_latency,
+    first_exposing_report,
     infection_detected,
+    match_fleet_reports,
     simulate_detection,
 )
 from repro.analysis.qoa_analysis import (
@@ -23,6 +26,7 @@ from repro.analysis.sweep import ParameterSweep, SweepResult
 
 __all__ = [
     "DetectionSummary",
+    "FleetDetectionSummary",
     "ParameterSweep",
     "QoAComparison",
     "SweepResult",
@@ -30,6 +34,8 @@ __all__ = [
     "compare_erasmus_vs_ondemand",
     "detection_curve",
     "detection_latency",
+    "first_exposing_report",
     "infection_detected",
+    "match_fleet_reports",
     "simulate_detection",
 ]

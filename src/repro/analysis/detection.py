@@ -3,15 +3,26 @@
 The core question of Figure 1: given when measurements are taken, when
 collections happen and when malware was present, which infections are
 detected and how quickly can the verifier react?
+
+Two levels of fidelity:
+
+* the *timeline* functions (:func:`infection_detected`,
+  :func:`simulate_detection`) match infections against abstract
+  measurement/collection time lists — fast analytic sweeps;
+* the *fleet* functions (:func:`match_fleet_reports`) match per-device
+  ground-truth :class:`Infection` intervals against the stream of
+  :class:`~repro.core.verification.VerificationReport`\\ s a real
+  fleet collection produced — what the campaign engine scores.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
 
 from repro.adversary.malware import Infection, MalwareCampaign
 from repro.core.scheduler import MeasurementScheduler, RegularScheduler
+from repro.core.verification import VerificationReport
 
 
 def infection_detected(infection: Infection,
@@ -120,6 +131,112 @@ def simulate_detection(measurement_interval: float,
                             latencies=latencies,
                             measurement_count=len(measurement_times),
                             collection_count=len(collection_times))
+
+
+# ----------------------------------------------------------------------
+# Fleet-level matching: ground truth vs a VerificationReport stream
+# ----------------------------------------------------------------------
+
+def first_exposing_report(infection: Infection,
+                          reports: Sequence[VerificationReport]
+                          ) -> Optional[VerificationReport]:
+    """The earliest report that exposes one ground-truth infection.
+
+    An infection is *detected* when the first anomalous report for its
+    device lands after ``Infection.start``.  A report is anomalous when
+    :meth:`~repro.core.verification.VerificationReport.
+    detected_infection` holds; when it additionally carries
+    incriminating measurement timestamps, at least one of them must
+    fall inside the infection window, so an anomalous report caused by
+    a *different* infection on the same device is never credited to
+    this one.  Reports need not be sorted.
+    """
+    end = infection.end if infection.end is not None else float("inf")
+    exposing = None
+    for report in reports:
+        if report.device_id != infection.device_id:
+            continue
+        if not report.detected_infection():
+            continue
+        if report.collection_time < infection.start:
+            continue
+        timestamps = report.infected_timestamps
+        if timestamps and not any(infection.start <= time < end
+                                  for time in timestamps):
+            continue
+        if exposing is None or report.collection_time < \
+                exposing.collection_time:
+            exposing = report
+    return exposing
+
+
+@dataclass
+class FleetDetectionSummary:
+    """Ground truth matched against one fleet's report stream."""
+
+    total_infections: int = 0
+    detected_infections: int = 0
+    latencies: List[float] = field(default_factory=list)
+    infected_devices: int = 0
+    detected_devices: int = 0
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of ground-truth infections that were detected."""
+        if self.total_infections == 0:
+            return 1.0
+        return self.detected_infections / self.total_infections
+
+    @property
+    def mean_latency(self) -> Optional[float]:
+        """Mean infection-start-to-exposing-report latency."""
+        if not self.latencies:
+            return None
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> Optional[float]:
+        """Worst-case latency over detected infections."""
+        return max(self.latencies) if self.latencies else None
+
+
+def match_fleet_reports(ground_truth: Mapping[str, Sequence[Infection]],
+                        reports: Iterable[VerificationReport]
+                        ) -> FleetDetectionSummary:
+    """Match per-device ground truth against a fleet report stream.
+
+    ``ground_truth`` maps device ids to their infection intervals (what
+    :meth:`repro.adversary.FleetAdversary.ground_truth` records);
+    ``reports`` is every report the verifier produced over the
+    campaign, in any order — concatenate the rounds' report lists.
+    Time-to-detection is measured from ``Infection.start`` to the
+    exposing report's ``collection_time``: when the verifier could
+    first have reacted, not when the incriminating measurement was
+    taken.
+    """
+    by_device: Dict[str, List[VerificationReport]] = {}
+    for report in reports:
+        by_device.setdefault(report.device_id, []).append(report)
+    summary = FleetDetectionSummary()
+    for device_id in sorted(ground_truth):
+        infections = ground_truth[device_id]
+        if not infections:
+            continue
+        summary.infected_devices += 1
+        device_detected = False
+        for infection in infections:
+            summary.total_infections += 1
+            exposing = first_exposing_report(
+                infection, by_device.get(device_id, ()))
+            if exposing is None:
+                continue
+            summary.detected_infections += 1
+            summary.latencies.append(
+                exposing.collection_time - infection.start)
+            device_detected = True
+        if device_detected:
+            summary.detected_devices += 1
+    return summary
 
 
 def _regular_times(interval: float, horizon: float) -> List[float]:

@@ -1,0 +1,50 @@
+"""Scenario campaigns: adversaries, faults and fleets, swept together.
+
+The campaign engine closes the loop between the adversary layer and
+the fleet stack.  A :class:`Scenario` declares one cell — fleet size,
+protocol (ERASMUS vs the on-demand baseline), malware kind and dwell,
+mobility model, transport, verifier downtime, store crashes, network
+partitions — and a :class:`ScenarioGrid` sweeps axes over a base cell.
+:func:`run_scenario` executes a cell against a real provisioned fleet
+on the simulation engine, and :class:`CampaignRunner` fans a grid out
+and emits a single JSON artifact with detection probability,
+time-to-detection, QoA and round mechanics per cell.
+
+Faults are injected by wrapping the existing seams
+(:class:`PartitionInjector` around any transport,
+:class:`CrashOnceStore` around any state store) — never by modifying
+the production code paths.
+"""
+
+from repro.campaign.faults import CrashOnceStore, PartitionInjector
+from repro.campaign.runner import (
+    CampaignRunner,
+    CellResult,
+    build_adversary,
+    run_scenario,
+)
+from repro.campaign.scenario import (
+    MALWARE_KINDS,
+    MOBILITY_KINDS,
+    PROTOCOLS,
+    SCHEDULE_KINDS,
+    TRANSPORT_KINDS,
+    Scenario,
+    ScenarioGrid,
+)
+
+__all__ = [
+    "CampaignRunner",
+    "CellResult",
+    "CrashOnceStore",
+    "MALWARE_KINDS",
+    "MOBILITY_KINDS",
+    "PROTOCOLS",
+    "PartitionInjector",
+    "SCHEDULE_KINDS",
+    "Scenario",
+    "ScenarioGrid",
+    "TRANSPORT_KINDS",
+    "build_adversary",
+    "run_scenario",
+]

@@ -1,0 +1,208 @@
+"""Declarative scenario cells and grids for adversarial campaigns.
+
+A :class:`Scenario` is one fully specified cell: fleet size, protocol
+(ERASMUS or the on-demand baseline, which conflates ``T_M`` with
+``T_C``), adversary, mobility, transport and fault injections, plus
+the seed that makes the whole cell reproducible.  A
+:class:`ScenarioGrid` is a base cell plus axes to sweep; it expands to
+a deterministic list of cells, each with its own derived seed, which
+the :class:`~repro.campaign.runner.CampaignRunner` fans out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Protocols a cell can run.  ``on-demand`` measures only when the
+#: verifier asks: the effective measurement interval becomes ``T_C``.
+PROTOCOLS = ("erasmus", "on-demand")
+
+#: Adversaries a cell can deploy (see :mod:`repro.adversary.fleet`).
+MALWARE_KINDS = ("none", "mobile", "persistent", "tampering",
+                 "schedule-aware")
+
+#: Mobility models a cell can exercise.
+MOBILITY_KINDS = ("none", "waypoint", "partition-merge")
+
+#: Transports a cell can collect over.
+TRANSPORT_KINDS = ("in-process", "simulated-network", "swarm-relay")
+
+#: Measurement schedules a cell's provers can follow.
+SCHEDULE_KINDS = ("regular", "irregular")
+
+Window = Tuple[float, float]
+
+
+def _validate_windows(windows: Sequence[Window], label: str) -> Tuple[Window, ...]:
+    normalized: List[Window] = []
+    for window in windows:
+        start, end = float(window[0]), float(window[1])
+        if start < 0 or end <= start:
+            raise ValueError(
+                f"{label} window {window!r} must satisfy 0 <= start < end")
+        normalized.append((start, end))
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One campaign cell, fully specified and reproducible from its seed."""
+
+    name: str = "cell"
+    devices: int = 100
+    horizon: float = 3600.0
+    measurement_interval: float = 60.0
+    collection_interval: float = 600.0
+    protocol: str = "erasmus"
+    schedule: str = "regular"
+    malware: str = "mobile"
+    dwell: Optional[float] = 30.0
+    mean_dwell: Optional[float] = None
+    arrival_rate: float = 1.0 / 900.0
+    victim_fraction: float = 0.25
+    mobility: str = "none"
+    mobility_speed: float = 1.0
+    mobility_area: float = 200.0
+    radio_range: float = 60.0
+    partition_period: float = 600.0
+    partition_groups: int = 2
+    merged_fraction: float = 0.5
+    transport: str = "in-process"
+    loss_probability: float = 0.0
+    verifier_downtime: Tuple[Window, ...] = ()
+    store_crash_round: Optional[int] = None
+    fault_partition_windows: Tuple[Window, ...] = ()
+    fault_partition_fraction: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.devices <= 0:
+            raise ValueError("a scenario needs at least one device")
+        if self.horizon <= 0:
+            raise ValueError("the horizon must be positive")
+        if self.measurement_interval <= 0 or self.collection_interval <= 0:
+            raise ValueError("intervals must be positive")
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}; "
+                             f"known: {', '.join(PROTOCOLS)}")
+        if self.schedule not in SCHEDULE_KINDS:
+            raise ValueError(f"unknown schedule {self.schedule!r}; "
+                             f"known: {', '.join(SCHEDULE_KINDS)}")
+        if self.malware not in MALWARE_KINDS:
+            raise ValueError(f"unknown malware kind {self.malware!r}; "
+                             f"known: {', '.join(MALWARE_KINDS)}")
+        if self.mobility not in MOBILITY_KINDS:
+            raise ValueError(f"unknown mobility kind {self.mobility!r}; "
+                             f"known: {', '.join(MOBILITY_KINDS)}")
+        if self.transport not in TRANSPORT_KINDS:
+            raise ValueError(f"unknown transport {self.transport!r}; "
+                             f"known: {', '.join(TRANSPORT_KINDS)}")
+        if self.malware in ("mobile", "schedule-aware") and \
+                self.dwell is None and self.mean_dwell is None:
+            raise ValueError(
+                f"{self.malware} malware needs dwell= or mean_dwell=")
+        if not 0.0 < self.victim_fraction <= 1.0:
+            raise ValueError("victim_fraction must be in (0, 1]")
+        if not 0.0 <= self.fault_partition_fraction <= 1.0:
+            raise ValueError("fault_partition_fraction must be in [0, 1]")
+        if self.store_crash_round is not None and self.store_crash_round < 1:
+            raise ValueError("store_crash_round counts from 1")
+        if self.mobility != "none" and self.transport != "swarm-relay":
+            raise ValueError(
+                f"mobility {self.mobility!r} needs the swarm-relay "
+                f"transport; {self.transport!r} ignores topology")
+        object.__setattr__(
+            self, "verifier_downtime",
+            _validate_windows(self.verifier_downtime, "verifier downtime"))
+        object.__setattr__(
+            self, "fault_partition_windows",
+            _validate_windows(self.fault_partition_windows,
+                              "fault partition"))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def effective_measurement_interval(self) -> float:
+        """``T_M`` the provers actually run: ``T_C`` for on-demand RA."""
+        if self.protocol == "on-demand":
+            return self.collection_interval
+        return self.measurement_interval
+
+    @property
+    def measurements_per_collection(self) -> int:
+        """``k = ceil(T_C / T_M)`` under the effective schedule."""
+        return int(math.ceil(self.collection_interval /
+                             self.effective_measurement_interval))
+
+    def collection_times(self) -> List[float]:
+        """Every planned collection instant (downtime not yet applied)."""
+        times: List[float] = []
+        time = self.collection_interval
+        while time <= self.horizon + 1e-9:
+            times.append(time)
+            time += self.collection_interval
+        return times
+
+    def in_downtime(self, time: float) -> bool:
+        """True when the verifier is down at ``time`` (round skipped)."""
+        return any(start <= time < end
+                   for start, end in self.verifier_downtime)
+
+    def active_collection_times(self) -> List[float]:
+        """Collection instants that survive the downtime windows."""
+        return [time for time in self.collection_times()
+                if not self.in_downtime(time)]
+
+    def with_overrides(self, **overrides) -> "Scenario":
+        """Copy of this scenario with fields replaced."""
+        return replace(self, **overrides)
+
+    def to_row(self) -> Dict[str, object]:
+        """JSON-friendly description of this cell (fully deterministic)."""
+        row = asdict(self)
+        row["verifier_downtime"] = [list(w) for w in self.verifier_downtime]
+        row["fault_partition_windows"] = [
+            list(w) for w in self.fault_partition_windows]
+        return row
+
+
+@dataclass
+class ScenarioGrid:
+    """A base scenario plus axes to sweep.
+
+    ``axes`` maps :class:`Scenario` field names to the values to sweep;
+    cells are the cartesian product in the axes' declaration order
+    (first axis slowest), mirroring
+    :class:`~repro.analysis.sweep.ParameterSweep`.  Each cell's seed is
+    derived from the base seed and its position, and its name from the
+    axis values, so a grid always expands to the same cells in the
+    same order.
+    """
+
+    base: Scenario = field(default_factory=Scenario)
+    axes: Mapping[str, Sequence[object]] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        for axis, values in self.axes.items():
+            if not hasattr(self.base, axis):
+                raise ValueError(f"unknown scenario field {axis!r}")
+            if not values:
+                raise ValueError(f"axis {axis!r} has no values")
+
+    def cells(self) -> List[Scenario]:
+        """Expand the grid into its scenario cells, deterministically."""
+        combos: List[Dict[str, object]] = [{}]
+        for axis, values in self.axes.items():
+            combos = [dict(combo, **{axis: value})
+                      for combo in combos for value in values]
+        cells: List[Scenario] = []
+        for index, combo in enumerate(combos):
+            label = "/".join(f"{axis}={combo[axis]}" for axis in self.axes) \
+                or self.base.name
+            overrides = {"name": label, "seed": self.base.seed + index}
+            overrides.update(combo)  # explicit axis values win
+            cells.append(self.base.with_overrides(**overrides))
+        return cells

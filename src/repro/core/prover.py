@@ -87,6 +87,14 @@ class ErasmusProver:
         self.measurements_missed = 0
         self.collections_served = 0
         self.busy_intervals: List[tuple[float, float]] = []
+        #: Observers called after every engine-scheduled measurement
+        #: attempt with ``(device_id, time, measurement-or-None)``.
+        #: This is the Section 3.5 observation channel: measurement
+        #: activity is externally visible (busy CPU), so schedule-aware
+        #: malware can react to *when* measurements happen without ever
+        #: touching the scheduler's CSPRNG state.
+        self.measurement_listeners: List[
+            Callable[[str, float, Optional[Measurement]], None]] = []
 
     # ------------------------------------------------------------------
     # Measurement phase
@@ -127,6 +135,8 @@ class ErasmusProver:
             time, "measurement", device=self.device_id,
             aborted=measurement is None,
             timestamp=None if measurement is None else measurement.timestamp)
+        for listener in list(self.measurement_listeners):
+            listener(self.device_id, time, measurement)
         if measurement is None:
             retry = self.scheduler.reschedule_after_abort(
                 time, self._window_start)

@@ -14,6 +14,7 @@ paper-vs-measured comparison.
 | ``fig8_imx6_runtime``     | Figure 8 — i.MX6 measurement run-time      |
 | ``hwcost``                | Section 4.1 — registers / LUTs             |
 | ``qoa_detection``         | Figure 1 / Section 3.1 — QoA & detection   |
+| ``campaign_detection``    | Figure 1 on a real fleet (campaign engine) |
 | ``irregular_intervals``   | Section 3.5 — schedule-aware malware       |
 | ``availability``          | Section 5 — availability / lenient windows |
 | ``swarm_mobility``        | Section 6 — swarm attestation & mobility   |
@@ -23,6 +24,7 @@ paper-vs-measured comparison.
 
 from repro.experiments import (
     availability,
+    campaign_detection,
     fig6_msp430_runtime,
     fig8_imx6_runtime,
     fleet_collection,
@@ -37,6 +39,7 @@ from repro.experiments import (
 
 __all__ = [
     "availability",
+    "campaign_detection",
     "fig6_msp430_runtime",
     "fig8_imx6_runtime",
     "fleet_collection",

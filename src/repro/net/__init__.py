@@ -14,7 +14,11 @@ whose topology may change quickly.  This package provides:
 """
 
 from repro.net.link import Link
-from repro.net.mobility import MobilityModel, RandomWaypointMobility
+from repro.net.mobility import (
+    MobilityModel,
+    PartitionMergeMobility,
+    RandomWaypointMobility,
+)
 from repro.net.network import Network
 from repro.net.node import NetworkNode
 from repro.net.packet import Packet
@@ -25,5 +29,6 @@ __all__ = [
     "Network",
     "NetworkNode",
     "Packet",
+    "PartitionMergeMobility",
     "RandomWaypointMobility",
 ]

@@ -197,31 +197,153 @@ class RandomWaypointMobility(MobilityModel):
         return copy.deepcopy(self)
 
     def churn_rate(self, horizon: float, step: float = 1.0) -> float:
-        """Fraction of links that change per step over a time horizon.
+        """Fraction of links that change per step over a time horizon."""
+        return _churn_rate(self, horizon, step)
 
-        Used by the swarm experiments to characterize "how mobile" a
-        deployment is independently of the protocol under test.  The
-        measurement runs on a :meth:`fork`, so looking ahead never
-        advances this model's positions or RNG — ``links_at`` after a
-        ``churn_rate`` call returns exactly what it would have returned
-        without it.
+
+class PartitionMergeMobility(MobilityModel):
+    """A swarm that periodically splits into groups and heals again.
+
+    Section 6's hard case for collect-then-verify swarm protocols is
+    not smooth motion but *partitions*: a sub-swarm wanders out of
+    range mid-instance and everything computed so far is wasted.  This
+    model produces exactly that, deterministically: the devices are
+    divided round-robin into ``groups`` sub-swarms; within each cycle
+    of ``period`` seconds the swarm spends the first
+    ``1 - merged_fraction`` of the cycle partitioned (links only inside
+    each group) and the rest merged (bridge links join the groups).
+    Pinned anchors — the collection gateway — attach to group 0, so
+    during a partition only group 0's devices are reachable and a
+    collection round shows the split as lost responses, healing on its
+    own once the cycle merges.
+
+    Group members are chained (member *i* links to member *i+1*), so
+    reaching deep members takes multiple relay hops exactly like a
+    marching column; ``merged_fraction=1`` degenerates to a permanently
+    connected swarm.
+    """
+
+    def __init__(self, device_names: List[str], groups: int = 2,
+                 period: float = 600.0, merged_fraction: float = 0.5,
+                 area_size: float = 100.0, link_latency: float = 0.002,
+                 link_bandwidth_bps: float = 1_000_000.0) -> None:
+        if not device_names:
+            raise ValueError("at least one device is required")
+        if groups < 1:
+            raise ValueError("at least one group is required")
+        if period <= 0:
+            raise ValueError("the partition/merge period must be positive")
+        if not 0.0 <= merged_fraction <= 1.0:
+            raise ValueError("merged_fraction must be within [0, 1]")
+        if area_size <= 0:
+            raise ValueError("area size must be positive")
+        self.period = period
+        self.merged_fraction = merged_fraction
+        self.area_size = area_size
+        self.link_latency = link_latency
+        self.link_bandwidth_bps = link_bandwidth_bps
+        self._names = list(device_names)
+        self.groups: List[List[str]] = [[] for _ in range(groups)]
+        for index, name in enumerate(self._names):
+            self.groups[index % groups].append(name)
+        self.groups = [group for group in self.groups if group]
+        self._pinned: List[str] = []
+
+    def device_names(self) -> List[str]:
+        """Names of the swarm devices (pinned anchors excluded)."""
+        return list(self._names)
+
+    def pin(self, name: str, x: float, y: float) -> None:
+        """Anchor a static node (the gateway) onto group 0's head.
+
+        The coordinates are accepted for interface compatibility with
+        :class:`RandomWaypointMobility` (the swarm transport pins the
+        gateway at the area center); connectivity here is group
+        membership, not geometry.
         """
-        if horizon <= 0 or step <= 0:
-            raise ValueError("horizon and step must be positive")
-        probe = self.fork()
-        start = probe._last_update
-        previous = {(link.node_a, link.node_b)
-                    for link in probe.links_at(start)}
-        changes = 0
-        samples = 0
-        time = start
-        while time < start + horizon:
-            time += step
-            current = {(link.node_a, link.node_b)
-                       for link in probe.links_at(time)}
-            union = previous | current
-            if union:
-                changes += len(previous ^ current) / len(union)
-            samples += 1
-            previous = current
-        return changes / samples if samples else 0.0
+        if name in self._names or name in self._pinned:
+            raise ValueError(f"{name!r} is already part of this model")
+        if not (0.0 <= x <= self.area_size and 0.0 <= y <= self.area_size):
+            raise ValueError(f"pinned position {(x, y)} is outside the "
+                             f"{self.area_size} x {self.area_size} area")
+        self._pinned.append(name)
+
+    def pinned_names(self) -> List[str]:
+        """Names of the static anchors added via :meth:`pin`."""
+        return list(self._pinned)
+
+    def merged_at(self, time: float) -> bool:
+        """True when the groups are merged at ``time``.
+
+        Each cycle starts partitioned and merges for its final
+        ``merged_fraction``; a single group is always "merged".
+        """
+        if len(self.groups) <= 1 or self.merged_fraction >= 1.0:
+            return True
+        if self.merged_fraction <= 0.0:
+            return False
+        phase = (time % self.period) / self.period
+        return phase >= 1.0 - self.merged_fraction
+
+    def _link(self, node_a: str, node_b: str) -> Link:
+        return Link(node_a, node_b, latency=self.link_latency,
+                    bandwidth_bps=self.link_bandwidth_bps)
+
+    def links_at(self, time: float) -> List[Link]:
+        if time < 0:
+            raise ValueError("mobility time cannot be negative")
+        links: List[Link] = []
+        for anchor in self._pinned:
+            links.append(self._link(anchor, self.groups[0][0]))
+        for group in self.groups:
+            for first, second in zip(group, group[1:]):
+                links.append(self._link(first, second))
+        if self.merged_at(time):
+            for left, right in zip(self.groups, self.groups[1:]):
+                links.append(self._link(left[0], right[0]))
+        return links
+
+    def group_of(self, name: str) -> int:
+        """Index of the group one device belongs to."""
+        for index, group in enumerate(self.groups):
+            if name in group:
+                return index
+        raise KeyError(f"{name!r} is not part of this model")
+
+    def fork(self) -> "PartitionMergeMobility":
+        """An independent copy (links are pure functions of time)."""
+        return copy.deepcopy(self)
+
+    def churn_rate(self, horizon: float, step: float = 1.0) -> float:
+        """Fraction of links that change per step over a time horizon."""
+        return _churn_rate(self, horizon, step)
+
+
+def _churn_rate(model: MobilityModel, horizon: float,
+                step: float = 1.0) -> float:
+    """Link-set churn of any forkable mobility model.
+
+    Used by the swarm experiments to characterize "how mobile" a
+    deployment is independently of the protocol under test.  The
+    measurement runs on a fork, so looking ahead never perturbs the
+    model it was called on.
+    """
+    if horizon <= 0 or step <= 0:
+        raise ValueError("horizon and step must be positive")
+    probe = model.fork()
+    start = getattr(probe, "_last_update", 0.0)
+    previous = {(link.node_a, link.node_b)
+                for link in probe.links_at(start)}
+    changes = 0.0
+    samples = 0
+    time = start
+    while time < start + horizon:
+        time += step
+        current = {(link.node_a, link.node_b)
+                   for link in probe.links_at(time)}
+        union = previous | current
+        if union:
+            changes += len(previous ^ current) / len(union)
+        samples += 1
+        previous = current
+    return changes / samples if samples else 0.0

@@ -1,0 +1,248 @@
+"""Tests for the fleet-native adversary layer."""
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    FleetMobileMalware,
+    FleetPersistentMalware,
+    FleetScheduleAwareMalware,
+    FleetTamperingMalware,
+)
+from repro.core.verification import DeviceStatus
+from repro.fleet import Fleet
+from repro.sim import SimulationEngine
+from tests.fleet.helpers import small_profile
+
+SECRET = b"fleet-adversary-master-secret"
+
+
+def provision(count=6, engine=None, **overrides):
+    engine = engine if engine is not None else SimulationEngine()
+    return Fleet.provision(small_profile(b"adversary-firmware"), count,
+                           master_secret=SECRET, engine=engine, **overrides)
+
+
+class TestVictimSelection:
+    def test_fraction_selects_deterministically(self):
+        with provision() as fleet:
+            roster = {d: fleet.device(d) for d in fleet.device_ids()}
+            first = FleetPersistentMalware(roster, victim_fraction=0.5,
+                                           seed=3)
+            second = FleetPersistentMalware(roster, victim_fraction=0.5,
+                                            seed=3)
+            assert first.victims == second.victims
+            assert len(first.victims) == 3
+            assert all(v in roster for v in first.victims)
+
+    def test_roster_accepts_device_iterable(self):
+        with provision() as fleet:
+            adversary = FleetPersistentMalware(fleet.devices(),
+                                               victim_fraction=1.0)
+            assert adversary.victims == sorted(fleet.device_ids())
+
+    def test_explicit_victims_validated(self):
+        with provision() as fleet:
+            roster = fleet.devices()
+            with pytest.raises(ValueError, match="not in the fleet roster"):
+                FleetPersistentMalware(roster, victim_ids=["ghost-0001"])
+
+    def test_ids_and_fraction_are_exclusive(self):
+        with provision() as fleet:
+            with pytest.raises(ValueError, match="not both"):
+                FleetPersistentMalware(fleet.devices(),
+                                       victim_ids=["dev-0000"],
+                                       victim_fraction=0.5)
+
+    def test_fraction_bounds(self):
+        with provision() as fleet:
+            for bad in (0.0, -0.1, 1.5):
+                with pytest.raises(ValueError):
+                    FleetPersistentMalware(fleet.devices(),
+                                           victim_fraction=bad)
+
+    def test_deploy_twice_rejected(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetPersistentMalware(fleet.devices(),
+                                               victim_ids=["dev-0000"])
+            adversary.deploy(engine, 100.0)
+            with pytest.raises(RuntimeError, match="already deployed"):
+                adversary.deploy(engine, 100.0)
+
+
+class TestFleetMobileMalware:
+    def test_detected_when_dwell_spans_measurement(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetMobileMalware(
+                fleet.devices(), arrival_rate=1 / 30.0, dwell=25.0,
+                victim_fraction=0.5, seed=1)
+            adversary.deploy(engine, 120.0)
+            fleet.run_until(60.0)
+            reports = fleet.collect_all()
+            fleet.run_until(120.0)
+            infected = {r.device_id for r in reports
+                        if r.status is DeviceStatus.INFECTED}
+            assert infected
+            assert infected <= set(adversary.victims)
+
+    def test_ground_truth_intervals_closed_and_sorted(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetMobileMalware(
+                fleet.devices(), arrival_rate=1 / 20.0, dwell=8.0,
+                victim_fraction=1.0, seed=4)
+            adversary.deploy(engine, 200.0)
+            fleet.run_until(200.0)
+            truth = adversary.ground_truth()
+            assert set(truth) == set(adversary.victims)
+            for infections in truth.values():
+                for infection in infections:
+                    assert infection.end is not None
+                    assert infection.end == pytest.approx(
+                        infection.start + 8.0)
+                starts = [i.start for i in infections]
+                assert starts == sorted(starts)
+
+    def test_visits_never_cross_horizon(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetMobileMalware(
+                fleet.devices(), arrival_rate=1 / 10.0, mean_dwell=15.0,
+                victim_fraction=1.0, seed=9)
+            adversary.deploy(engine, 150.0)
+            for plan in adversary.visits.values():
+                for start, dwell in plan:
+                    assert start + dwell <= 150.0
+
+    def test_same_seed_same_plan(self):
+        plans = []
+        for _ in range(2):
+            engine = SimulationEngine()
+            with provision(engine=engine) as fleet:
+                adversary = FleetMobileMalware(
+                    fleet.devices(), arrival_rate=1 / 25.0, mean_dwell=12.0,
+                    victim_fraction=0.5, seed=11)
+                adversary.deploy(engine, 300.0)
+                plans.append(adversary.visits)
+        assert plans[0] == plans[1]
+
+    def test_single_device_devices_restored_after_visit(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            victim = fleet.device_ids()[0]
+            adversary = FleetMobileMalware(
+                fleet.devices(), arrival_rate=1 / 30.0, dwell=5.0,
+                victim_ids=[victim], seed=2)
+            adversary.deploy(engine, 100.0)
+            fleet.run_until(100.0)
+            malware = adversary.malware[victim]
+            assert not malware.currently_active
+            assert fleet.device(victim).architecture.application_read(
+                "application").startswith(b"adversary-firmware")
+
+
+class TestFleetPersistentMalware:
+    def test_every_victim_eventually_flagged(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetPersistentMalware(
+                fleet.devices(), victim_fraction=0.5, seed=5)
+            adversary.deploy(engine, 120.0)
+            fleet.run_until(120.0)
+            reports = fleet.collect_all()
+            infected = {r.device_id for r in reports
+                        if r.status is DeviceStatus.INFECTED}
+            assert infected == set(adversary.victims)
+
+    def test_arrival_window_bounds_arrivals(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetPersistentMalware(
+                fleet.devices(), victim_fraction=1.0, arrival_window=0.25,
+                seed=6)
+            adversary.deploy(engine, 400.0)
+            fleet.run_until(400.0)
+            for infections in adversary.ground_truth().values():
+                assert len(infections) == 1
+                assert 0.0 <= infections[0].start < 100.0
+                assert infections[0].end is None
+
+
+class TestFleetTamperingMalware:
+    def test_tampered_status_reported(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetTamperingMalware(
+                fleet.devices(), times=[55.0], victim_fraction=0.5, seed=7)
+            adversary.deploy(engine, 60.0)
+            fleet.run_until(60.0)
+            reports = fleet.collect_all()
+            tampered = {r.device_id for r in reports
+                        if r.status is DeviceStatus.TAMPERED}
+            assert tampered == set(adversary.victims)
+            truth = adversary.ground_truth()
+            assert set(truth) == set(adversary.victims)
+            for infections in truth.values():
+                assert [i.start for i in infections] == [55.0]
+
+    def test_unknown_action_rejected(self):
+        with provision() as fleet:
+            with pytest.raises(ValueError, match="unknown tamper action"):
+                FleetTamperingMalware(fleet.devices(), times=[10.0],
+                                      action="set_on_fire")
+
+    def test_times_beyond_horizon_skipped(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetTamperingMalware(
+                fleet.devices(), times=[10.0, 500.0], victim_fraction=0.5,
+                seed=8)
+            adversary.deploy(engine, 60.0)
+            fleet.run_until(60.0)
+            for infections in adversary.ground_truth().values():
+                assert [i.start for i in infections] == [10.0]
+
+
+class TestFleetScheduleAwareMalware:
+    def test_evades_regular_schedule_with_short_dwell(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetScheduleAwareMalware(
+                fleet.devices(), dwell=5.0, victim_fraction=1.0, seed=10)
+            adversary.deploy(engine, 120.0)
+            fleet.run_until(60.0)
+            reports = fleet.collect_all()
+            fleet.run_until(120.0)
+            # T_M = 10 and entries land right after measurements, so a
+            # 5 s dwell always exits before the next measurement.
+            assert all(r.status is DeviceStatus.HEALTHY for r in reports)
+            assert any(adversary.ground_truth().values())
+
+    def test_caught_when_dwell_exceeds_interval(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            adversary = FleetScheduleAwareMalware(
+                fleet.devices(), dwell=12.0, victim_fraction=1.0, seed=10)
+            adversary.deploy(engine, 120.0)
+            fleet.run_until(60.0)
+            reports = fleet.collect_all()
+            fleet.run_until(120.0)
+            infected = {r.device_id for r in reports
+                        if r.status is DeviceStatus.INFECTED}
+            assert infected == set(adversary.victims)
+
+    def test_listener_does_not_touch_scheduler(self):
+        engine = SimulationEngine()
+        with provision(engine=engine) as fleet:
+            victim = fleet.device_ids()[0]
+            prover = fleet.device(victim).prover
+            state_before = random.getstate()
+            adversary = FleetScheduleAwareMalware(
+                fleet.devices(), dwell=3.0, victim_ids=[victim], seed=12)
+            adversary.deploy(engine, 50.0)
+            assert len(prover.measurement_listeners) == 1
+            fleet.run_until(50.0)
+            assert random.getstate() == state_before

@@ -83,3 +83,85 @@ def test_invalid_horizon_rejected():
     campaign = MalwareCampaign(arrival_rate=0.1, mean_dwell=1.0)
     with pytest.raises(ValueError):
         simulate_detection(60.0, 600.0, campaign, horizon=0.0)
+
+
+# ---------------------------------------------------------------------------
+# Fleet-level matching: ground truth vs VerificationReport streams
+# ---------------------------------------------------------------------------
+
+from repro.adversary import Infection
+from repro.analysis import first_exposing_report, match_fleet_reports
+from repro.core.verification import DeviceStatus, VerificationReport
+
+
+def _report(device_id, time, status=DeviceStatus.HEALTHY, restored=None):
+    return VerificationReport(device_id=device_id, collection_time=time,
+                              status=status, restored=restored)
+
+
+def _infected(device_id, time, timestamps):
+    return VerificationReport(
+        device_id=device_id, collection_time=time,
+        status=DeviceStatus.INFECTED,
+        restored={"measurements": len(timestamps),
+                  "infected_timestamps": list(timestamps)})
+
+
+def test_first_exposing_report_picks_earliest_match():
+    infection = Infection(device_id="dev", start=100.0, end=150.0)
+    reports = [
+        _report("dev", 60.0),
+        _infected("dev", 180.0, [120.0]),
+        _infected("dev", 240.0, [130.0]),
+    ]
+    exposing = first_exposing_report(infection, reports)
+    assert exposing is not None and exposing.collection_time == 180.0
+
+
+def test_exposing_report_needs_timestamp_inside_interval():
+    infection = Infection(device_id="dev", start=100.0, end=150.0)
+    # anomalous timestamps belong to a *different* infection window
+    reports = [_infected("dev", 180.0, [50.0])]
+    assert first_exposing_report(infection, reports) is None
+
+
+def test_tampered_report_counts_without_timestamps():
+    infection = Infection(device_id="dev", start=100.0,
+                          malicious_image=b"")
+    reports = [_report("dev", 120.0, status=DeviceStatus.TAMPERED)]
+    exposing = first_exposing_report(infection, reports)
+    assert exposing is not None
+
+
+def test_reports_before_infection_never_count():
+    infection = Infection(device_id="dev", start=100.0)
+    reports = [_report("dev", 60.0, status=DeviceStatus.TAMPERED)]
+    assert first_exposing_report(infection, reports) is None
+
+
+def test_match_fleet_reports_aggregates_per_device():
+    truth = {
+        "dev-a": [Infection("dev-a", start=100.0, end=150.0)],
+        "dev-b": [Infection("dev-b", start=200.0, end=220.0)],
+        "dev-c": [],
+    }
+    reports = [
+        _infected("dev-a", 180.0, [120.0]),
+        _report("dev-b", 240.0),  # healthy: dev-b's infection missed
+    ]
+    summary = match_fleet_reports(truth, reports)
+    assert summary.total_infections == 2
+    assert summary.detected_infections == 1
+    assert summary.detection_rate == 0.5
+    assert summary.infected_devices == 2
+    assert summary.detected_devices == 1
+    assert summary.latencies == [80.0]
+    assert summary.mean_latency == 80.0
+    assert summary.max_latency == 80.0
+
+
+def test_match_fleet_reports_empty_truth_is_full_detection():
+    summary = match_fleet_reports({}, [])
+    assert summary.total_infections == 0
+    assert summary.detection_rate == 1.0
+    assert summary.mean_latency is None

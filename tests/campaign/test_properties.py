@@ -1,0 +1,94 @@
+"""Property-based invariants of the campaign engine.
+
+Two promises the artifact format leans on:
+
+* a scenario cell is a pure function of its parameters — the same
+  ``Scenario`` always serializes to byte-identical JSON rows, however
+  many times (or in whatever process) it runs;
+* an adversary's ground truth is physically consistent — no device is
+  infected by two overlapping visits.
+"""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary import FleetMobileMalware, FleetScheduleAwareMalware
+from repro.campaign import Scenario, run_scenario
+from repro.fleet import Fleet
+from repro.sim import SimulationEngine
+from tests.fleet.helpers import small_profile
+
+scenario_parameters = st.fixed_dictionaries({
+    "devices": st.integers(min_value=2, max_value=10),
+    "dwell": st.floats(min_value=10.0, max_value=200.0,
+                       allow_nan=False, allow_infinity=False),
+    "victim_fraction": st.floats(min_value=0.2, max_value=1.0),
+    "protocol": st.sampled_from(["erasmus", "on-demand"]),
+    "malware": st.sampled_from(["mobile", "persistent", "tampering"]),
+    "seed": st.integers(min_value=0, max_value=2 ** 16),
+})
+
+
+@settings(max_examples=10, deadline=None)
+@given(scenario_parameters)
+def test_same_scenario_same_seed_byte_identical_rows(parameters):
+    """Rerunning a cell reproduces its JSON row byte for byte."""
+    scenario = Scenario(horizon=1200.0, measurement_interval=60.0,
+                        collection_interval=600.0,
+                        arrival_rate=1 / 400.0, **parameters)
+    rows = [json.dumps(run_scenario(scenario).to_row(), sort_keys=True)
+            for _ in range(2)]
+    assert rows[0] == rows[1]
+
+
+def _assert_no_overlaps(ground_truth):
+    for device_id, infections in ground_truth.items():
+        intervals = sorted(
+            (infection.start,
+             infection.end if infection.end is not None else float("inf"))
+            for infection in infections)
+        for (_, earlier_end), (later_start, _) in zip(intervals,
+                                                      intervals[1:]):
+            assert later_start >= earlier_end, \
+                f"overlapping infections on {device_id}: {intervals}"
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 16),
+       st.floats(min_value=5.0, max_value=120.0, allow_nan=False),
+       st.booleans())
+def test_ground_truth_intervals_never_overlap(seed, mean_dwell, fixed):
+    """No fleet adversary ever doubly infects a device at one instant."""
+    engine = SimulationEngine()
+    with Fleet.provision(small_profile(b"property-firmware"), 5,
+                         master_secret=b"property-secret",
+                         engine=engine) as fleet:
+        if fixed:
+            adversary = FleetMobileMalware(
+                fleet.devices(), arrival_rate=1 / 30.0, dwell=mean_dwell,
+                victim_fraction=1.0, seed=seed)
+        else:
+            adversary = FleetMobileMalware(
+                fleet.devices(), arrival_rate=1 / 30.0,
+                mean_dwell=mean_dwell, victim_fraction=1.0, seed=seed)
+        adversary.deploy(engine, 600.0)
+        fleet.run_until(600.0)
+        _assert_no_overlaps(adversary.ground_truth())
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(min_value=0, max_value=2 ** 16),
+       st.floats(min_value=1.0, max_value=25.0, allow_nan=False))
+def test_schedule_aware_ground_truth_never_overlaps(seed, dwell):
+    """Reactive (listener-driven) visits respect the same invariant."""
+    engine = SimulationEngine()
+    with Fleet.provision(small_profile(b"property-firmware"), 4,
+                         master_secret=b"property-secret",
+                         engine=engine) as fleet:
+        adversary = FleetScheduleAwareMalware(
+            fleet.devices(), dwell=dwell, victim_fraction=1.0, seed=seed)
+        adversary.deploy(engine, 300.0)
+        fleet.run_until(300.0)
+        _assert_no_overlaps(adversary.ground_truth())

@@ -1,0 +1,120 @@
+"""Tests for the campaign runner: cells end to end, grids, artifacts."""
+
+import json
+
+import pytest
+
+from repro.campaign import CampaignRunner, Scenario, run_scenario
+
+
+def small(**overrides):
+    base = dict(devices=8, horizon=1800.0, measurement_interval=60.0,
+                collection_interval=600.0, malware="mobile", dwell=120.0,
+                arrival_rate=1 / 600.0, victim_fraction=0.5, seed=3)
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestRunScenario:
+    def test_mobile_cell_detects_long_dwell(self):
+        result = run_scenario(small())
+        assert result.detection.total_infections > 0
+        # dwell 2x T_M: every infection spans a measurement
+        assert result.detection.detection_rate == 1.0
+        assert result.analytic_detection() == 1.0
+        assert len(result.rounds) == 3
+        assert all(s.requests_sent == 8 for s in result.rounds)
+
+    def test_on_demand_misses_short_dwell(self):
+        erasmus = run_scenario(small(dwell=30.0, devices=40, seed=5))
+        ondemand = run_scenario(small(dwell=30.0, devices=40, seed=5,
+                                      protocol="on-demand"))
+        assert erasmus.detection.detection_rate > \
+            3 * ondemand.detection.detection_rate
+        assert ondemand.analytic_detection() == pytest.approx(0.05)
+
+    def test_clean_cell_has_no_infections(self):
+        result = run_scenario(small(malware="none"))
+        assert result.detection.total_infections == 0
+        assert result.detection.detection_rate == 1.0
+
+    def test_downtime_skips_rounds(self):
+        result = run_scenario(small(verifier_downtime=((550.0, 650.0),)))
+        assert result.skipped_rounds == 1
+        assert len(result.rounds) == 2
+
+    def test_store_crash_recovers(self):
+        result = run_scenario(small(store_crash_round=2))
+        assert result.recovered_rounds == 1
+        assert len(result.rounds) == 3
+
+    def test_partition_fault_drops_exchanges(self):
+        result = run_scenario(small(
+            fault_partition_windows=((550.0, 650.0),),
+            fault_partition_fraction=0.5))
+        assert result.dropped_exchanges > 0
+        lost = sum(s.responses_lost for s in result.rounds)
+        assert lost == result.dropped_exchanges
+
+    def test_tampering_cell_detected(self):
+        result = run_scenario(small(malware="tampering"))
+        assert result.detection.total_infections > 0
+        assert result.detection.detection_rate == 1.0
+        assert result.analytic_detection() is None
+
+    def test_swarm_relay_with_partition_merge_mobility(self):
+        result = run_scenario(small(
+            devices=12, transport="swarm-relay",
+            mobility="partition-merge", partition_period=600.0,
+            merged_fraction=0.5))
+        assert result.detection.total_infections > 0
+        assert len(result.rounds) == 3
+
+    def test_row_is_deterministic_and_excludes_wall_clock(self):
+        scenario = small(seed=21)
+        first = run_scenario(scenario)
+        second = run_scenario(scenario)
+        row_a = json.dumps(first.to_row(), sort_keys=True)
+        row_b = json.dumps(second.to_row(), sort_keys=True)
+        assert row_a == row_b
+        assert "wall" not in row_a
+        assert first.wall_seconds > 0.0
+
+
+class TestCampaignRunner:
+    def test_grid_results_in_cell_order(self):
+        from repro.campaign import ScenarioGrid
+        grid = ScenarioGrid(base=small(devices=6),
+                            axes={"protocol": ["erasmus", "on-demand"]})
+        runner = CampaignRunner(grid, name="order")
+        results = runner.run()
+        assert [r.scenario.protocol for r in results] == \
+            ["erasmus", "on-demand"]
+
+    def test_parallel_run_matches_serial(self):
+        cells = [small(devices=6, seed=s) for s in (1, 2, 3)]
+        serial = CampaignRunner(cells)
+        parallel = CampaignRunner(cells, max_workers=3)
+        serial.run()
+        parallel.run()
+        assert json.dumps(serial.rows(), sort_keys=True) == \
+            json.dumps(parallel.rows(), sort_keys=True)
+
+    def test_artifact_written_as_single_json(self, tmp_path):
+        runner = CampaignRunner([small(devices=6)], name="artifact-test")
+        runner.run()
+        path = tmp_path / "campaign.json"
+        document = runner.write_artifact(str(path))
+        loaded = json.loads(path.read_text())
+        assert loaded == json.loads(json.dumps(document))
+        assert loaded["campaign"] == "artifact-test"
+        assert loaded["cell_count"] == 1
+        detection = loaded["cells"][0]["detection"]
+        assert set(detection) >= {"detection_rate",
+                                  "mean_time_to_detection_s",
+                                  "total_infections"}
+        assert len(loaded["timing"]["wall_seconds_per_cell"]) == 1
+
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValueError, match="at least one scenario"):
+            CampaignRunner([])

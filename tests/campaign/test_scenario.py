@@ -1,0 +1,92 @@
+"""Tests for campaign scenarios and grids."""
+
+import pytest
+
+from repro.campaign import Scenario, ScenarioGrid
+
+
+class TestScenarioValidation:
+    def test_defaults_are_valid(self):
+        scenario = Scenario()
+        assert scenario.devices == 100
+        assert scenario.malware == "mobile"
+
+    @pytest.mark.parametrize("overrides", [
+        {"devices": 0},
+        {"horizon": 0.0},
+        {"measurement_interval": -1.0},
+        {"protocol": "quantum"},
+        {"schedule": "chaotic"},
+        {"malware": "gremlin"},
+        {"mobility": "teleport"},
+        {"transport": "pigeon"},
+        {"victim_fraction": 0.0},
+        {"victim_fraction": 1.5},
+        {"fault_partition_fraction": 1.5},
+        {"store_crash_round": 0},
+        {"malware": "mobile", "dwell": None, "mean_dwell": None},
+        {"verifier_downtime": ((100.0, 50.0),)},
+        {"fault_partition_windows": ((-1.0, 50.0),)},
+        {"mobility": "waypoint", "transport": "in-process"},
+    ])
+    def test_invalid_fields_rejected(self, overrides):
+        with pytest.raises(ValueError):
+            Scenario(**overrides)
+
+    def test_on_demand_conflates_intervals(self):
+        scenario = Scenario(protocol="on-demand", measurement_interval=60.0,
+                            collection_interval=600.0)
+        assert scenario.effective_measurement_interval == 600.0
+        assert scenario.measurements_per_collection == 1
+        erasmus = scenario.with_overrides(protocol="erasmus")
+        assert erasmus.effective_measurement_interval == 60.0
+        assert erasmus.measurements_per_collection == 10
+
+    def test_collection_times_and_downtime(self):
+        scenario = Scenario(horizon=1800.0, collection_interval=600.0,
+                            verifier_downtime=((1100.0, 1300.0),))
+        assert scenario.collection_times() == [600.0, 1200.0, 1800.0]
+        assert scenario.in_downtime(1200.0)
+        assert not scenario.in_downtime(600.0)
+        assert scenario.active_collection_times() == [600.0, 1800.0]
+
+    def test_to_row_is_json_friendly(self):
+        import json
+        scenario = Scenario(verifier_downtime=((10.0, 20.0),))
+        row = scenario.to_row()
+        assert json.loads(json.dumps(row)) == row
+        assert row["verifier_downtime"] == [[10.0, 20.0]]
+
+
+class TestScenarioGrid:
+    def test_cells_expand_in_axis_order(self):
+        grid = ScenarioGrid(
+            base=Scenario(seed=100),
+            axes={"dwell": [10.0, 20.0], "protocol": ["erasmus",
+                                                      "on-demand"]})
+        cells = grid.cells()
+        assert [c.name for c in cells] == [
+            "dwell=10.0/protocol=erasmus", "dwell=10.0/protocol=on-demand",
+            "dwell=20.0/protocol=erasmus", "dwell=20.0/protocol=on-demand"]
+        assert [c.seed for c in cells] == [100, 101, 102, 103]
+        assert cells[3].dwell == 20.0 and cells[3].protocol == "on-demand"
+
+    def test_seed_axis_overrides_derived_seed(self):
+        grid = ScenarioGrid(base=Scenario(seed=5),
+                            axes={"seed": [7, 9]})
+        assert [c.seed for c in grid.cells()] == [7, 9]
+
+    def test_unknown_axis_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario field"):
+            ScenarioGrid(base=Scenario(), axes={"warp_factor": [1]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError, match="has no values"):
+            ScenarioGrid(base=Scenario(), axes={"dwell": []})
+
+    def test_empty_axes_yield_base_cell(self):
+        base = Scenario(name="solo", seed=3)
+        cells = ScenarioGrid(base=base, axes={}).cells()
+        assert len(cells) == 1
+        assert cells[0].name == "solo"
+        assert cells[0].seed == 3

@@ -174,3 +174,90 @@ def test_invalid_parameters_rejected():
         RandomWaypointMobility(NAMES, speed=-1.0)
     with pytest.raises(ValueError):
         RandomWaypointMobility(NAMES).churn_rate(horizon=0.0)
+
+
+class TestPartitionMergeMobility:
+    def _model(self, **overrides):
+        from repro.net.mobility import PartitionMergeMobility
+        parameters = dict(device_names=[f"dev{i}" for i in range(10)],
+                          groups=2, period=100.0, merged_fraction=0.5)
+        parameters.update(overrides)
+        return PartitionMergeMobility(**parameters)
+
+    def test_cycle_starts_partitioned_then_merges(self):
+        model = self._model()
+        assert not model.merged_at(0.0)
+        assert not model.merged_at(49.0)
+        assert model.merged_at(50.0)
+        assert model.merged_at(99.0)
+        assert not model.merged_at(100.0)  # next cycle
+
+    def test_partitioned_links_stay_inside_groups(self):
+        model = self._model()
+        for link in model.links_at(10.0):
+            assert model.group_of(link.node_a) == model.group_of(link.node_b)
+
+    def test_merged_links_bridge_adjacent_groups(self):
+        model = self._model(groups=3)
+        partitioned = {(l.node_a, l.node_b) for l in model.links_at(10.0)}
+        merged = {(l.node_a, l.node_b) for l in model.links_at(60.0)}
+        bridges = merged - partitioned
+        assert len(bridges) == 2  # chain of 3 groups: 2 bridge links
+        for node_a, node_b in bridges:
+            assert model.group_of(node_a) != model.group_of(node_b)
+
+    def test_pinned_gateway_attaches_to_group_zero(self):
+        model = self._model()
+        model.pin("verifier", 50.0, 50.0)
+        assert model.pinned_names() == ["verifier"]
+        links = model.links_at(0.0)
+        gateway = [l for l in links
+                   if "verifier" in (l.node_a, l.node_b)]
+        assert len(gateway) == 1
+        other = gateway[0].node_b if gateway[0].node_a == "verifier" \
+            else gateway[0].node_a
+        assert model.group_of(other) == 0
+
+    def test_pin_validation(self):
+        model = self._model()
+        with pytest.raises(ValueError, match="already part"):
+            model.pin("dev0", 1.0, 1.0)
+        with pytest.raises(ValueError, match="outside"):
+            model.pin("verifier", -5.0, 1.0)
+
+    def test_single_group_always_merged(self):
+        model = self._model(groups=1)
+        assert model.merged_at(0.0) and model.merged_at(10.0)
+
+    def test_merged_fraction_extremes(self):
+        assert self._model(merged_fraction=1.0).merged_at(0.0)
+        assert not self._model(merged_fraction=0.0).merged_at(99.0)
+
+    def test_fork_is_independent_and_identical(self):
+        model = self._model()
+        model.pin("verifier", 10.0, 10.0)
+        clone = model.fork()
+        assert clone.pinned_names() == ["verifier"]
+        assert {(l.node_a, l.node_b) for l in clone.links_at(60.0)} == \
+            {(l.node_a, l.node_b) for l in model.links_at(60.0)}
+        clone.pin("extra", 20.0, 20.0)
+        assert model.pinned_names() == ["verifier"]
+
+    def test_churn_tracks_partition_cycles(self):
+        model = self._model(period=20.0)
+        assert model.churn_rate(horizon=100.0, step=1.0) > 0.0
+        static = self._model(merged_fraction=1.0, period=20.0)
+        assert static.churn_rate(horizon=100.0, step=1.0) == 0.0
+
+    def test_invalid_parameters_rejected(self):
+        from repro.net.mobility import PartitionMergeMobility
+        with pytest.raises(ValueError):
+            PartitionMergeMobility([])
+        with pytest.raises(ValueError):
+            self._model(groups=0)
+        with pytest.raises(ValueError):
+            self._model(period=0.0)
+        with pytest.raises(ValueError):
+            self._model(merged_fraction=1.5)
+        with pytest.raises(ValueError):
+            self._model(area_size=-1.0)
