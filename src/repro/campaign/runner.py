@@ -22,7 +22,15 @@ from __future__ import annotations
 import json
 import time as _time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Union,
+)
 
 from repro.adversary.fleet import (
     FleetAdversary,
@@ -54,6 +62,9 @@ from repro.net.mobility import (
 )
 from repro.sim.engine import SimulationEngine
 from repro.store import MemoryStore, StoreError
+
+if TYPE_CHECKING:  # pragma: no cover — avoids a runtime import cycle
+    from repro.obs.service import Observability
 
 
 def _fleet_device_names(scenario: Scenario) -> List[str]:
@@ -224,8 +235,18 @@ class CellResult:
 
 
 def run_scenario(scenario: Scenario,
-                 master_secret: Optional[bytes] = None) -> CellResult:
-    """Run one scenario cell end to end on a real provisioned fleet."""
+                 master_secret: Optional[bytes] = None,
+                 obs: Optional["Observability"] = None) -> CellResult:
+    """Run one scenario cell end to end on a real provisioned fleet.
+
+    ``obs`` records the finished cell (count, wall time, skipped and
+    recovered rounds) on a :class:`repro.obs.Observability`.  The cell's
+    *internal* fleet is deliberately not instrumented: campaign cells
+    run concurrently and re-start round numbering per cell, so their
+    span paths would collide in one shared tracer; thread ``obs``
+    through :meth:`repro.fleet.Fleet.provision` directly to trace a
+    single deployment instead.
+    """
     started = _time.perf_counter()
     config = _build_config(scenario)
     profile = DeviceProfile.smartplus(application_size=256, config=config)
@@ -274,11 +295,16 @@ def run_scenario(scenario: Scenario,
             else {}
         detection = match_fleet_reports(ground_truth, reports)
         dropped = getattr(fleet.transport, "dropped_exchanges", 0)
-        return CellResult(scenario=scenario, detection=detection,
-                          rounds=rounds, skipped_rounds=skipped,
-                          recovered_rounds=recovered,
-                          dropped_exchanges=dropped,
-                          wall_seconds=_time.perf_counter() - started)
+        result = CellResult(scenario=scenario, detection=detection,
+                            rounds=rounds, skipped_rounds=skipped,
+                            recovered_rounds=recovered,
+                            dropped_exchanges=dropped,
+                            wall_seconds=_time.perf_counter() - started)
+        if obs is not None and obs.enabled:
+            obs.cell_finished(result.wall_seconds,
+                              skipped_rounds=result.skipped_rounds,
+                              recovered_rounds=result.recovered_rounds)
+        return result
     finally:
         fleet.close()
 
@@ -295,7 +321,8 @@ class CampaignRunner:
 
     def __init__(self, scenarios: Union[ScenarioGrid, Sequence[Scenario]],
                  name: str = "campaign",
-                 max_workers: Optional[int] = None) -> None:
+                 max_workers: Optional[int] = None,
+                 obs: Optional["Observability"] = None) -> None:
         if isinstance(scenarios, ScenarioGrid):
             self.cells = scenarios.cells()
         else:
@@ -304,12 +331,14 @@ class CampaignRunner:
             raise ValueError("a campaign needs at least one scenario cell")
         self.name = name
         self.max_workers = max_workers
+        self.obs = obs
         self.results: List[CellResult] = []
 
     def run(self) -> List[CellResult]:
         """Run every cell (optionally fanned out); results in cell order."""
         sweep = ParameterSweep({"index": list(range(len(self.cells)))})
-        sweep.run(lambda index: run_scenario(self.cells[index]),
+        sweep.run(lambda index: run_scenario(self.cells[index],
+                                             obs=self.obs),
                   max_workers=self.max_workers)
         self.results = list(sweep.outcomes())
         return self.results

@@ -34,6 +34,14 @@ COLLECTION_MODES: Sequence[str] = ("sync-baseline", "async", "sharded")
 #: is a plain provision call (the :class:`MemoryStore` default path).
 STORE_BACKENDS: Sequence[str] = ("baseline", "memory", "jsonl", "sqlite")
 
+#: Observability modes compared by :func:`run_obs_comparison`:
+#: ``baseline`` is a plain provision call, ``null`` threads the explicit
+#: :data:`repro.obs.NULL_OBSERVABILITY` through the same seams (the two
+#: time the identical code path — the row pins the claim that the
+#: disabled instrumentation branches cost nothing), ``observed`` runs a
+#: fully enabled :class:`repro.obs.Observability` with device tracing.
+OBS_MODES: Sequence[str] = ("baseline", "null", "observed")
+
 
 def default_profile() -> DeviceProfile:
     """The small SMART+ profile the throughput rows are measured with."""
@@ -50,14 +58,17 @@ def run_round(transport: str, device_count: int,
               max_workers: Optional[int] = None,
               store_factory: Optional[Callable[[], StateStore]] = None,
               mode: str = "async",
-              shards: int = 4) -> Dict[str, object]:
+              shards: int = 4,
+              obs: Optional[object] = None) -> Dict[str, object]:
     """One full fleet round over one transport; returns a result row.
 
     ``store_factory`` builds a fresh :class:`repro.store.StateStore`
     for this round, so the row includes the full write-through and
     checkpoint cost of that persistence backend.  ``mode`` picks the
     collection path (see :data:`COLLECTION_MODES`); ``shards`` only
-    applies to the ``sharded`` mode.
+    applies to the ``sharded`` mode.  ``obs`` is threaded through
+    ``Fleet.provision(obs=...)`` so the row carries that observability
+    mode's full instrumentation cost.
     """
     if mode not in COLLECTION_MODES:
         known = ", ".join(COLLECTION_MODES)
@@ -72,7 +83,8 @@ def run_round(transport: str, device_count: int,
         fleet = Fleet.provision(profile, device_count,
                                 master_secret=b"fleet-bench-master-secret",
                                 transport=transport, store=store,
-                                shards=shards if mode == "sharded" else None)
+                                shards=shards if mode == "sharded" else None,
+                                obs=obs)
         provisioned = time.perf_counter()
         fleet.run_until(horizon)
         # Provisioning and measuring allocate millions of objects; sweep
@@ -254,6 +266,70 @@ def format_store_table(rows: List[Dict[str, object]]) -> str:
     return "\n".join(lines)
 
 
+def _obs_for_mode(mode: str) -> Optional[object]:
+    """A fresh observability object for one benchmark attempt."""
+    if mode == "baseline":
+        return None
+    # Imported here, not at module top: the experiments package predates
+    # repro.obs and must stay importable if the subsystem is trimmed.
+    from repro.obs import NULL_OBSERVABILITY, Observability
+    if mode == "null":
+        return NULL_OBSERVABILITY
+    if mode == "observed":
+        return Observability(seed=0)
+    raise ValueError(f"unknown observability mode {mode!r}")
+
+
+def run_obs_comparison(device_count: int = 1000,
+                       transport: str = "in-process",
+                       repeats: int = 1,
+                       modes: Sequence[str] = OBS_MODES
+                       ) -> List[Dict[str, object]]:
+    """Devices/second for one round per observability mode.
+
+    Provisioning is deterministic, so the rows collect identical fleets
+    and differ only in instrumentation: ``baseline`` and ``null`` time
+    the identical code path (``obs=None`` resolves to the null object),
+    while ``observed`` pays the real metric/trace/store-wrap cost of a
+    fully enabled :class:`repro.obs.Observability`.  Each row is the
+    best of ``repeats`` attempts with a fresh observability object, the
+    same best-of policy as :func:`run_store_comparison`.
+    """
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    asyncio.run(asyncio.sleep(0))  # one-time loop bootstrap, unmeasured
+    rows: List[Dict[str, object]] = []
+    for mode in modes:
+        best: Optional[Dict[str, object]] = None
+        for _ in range(repeats):
+            row = run_round(transport, device_count,
+                            obs=_obs_for_mode(mode))
+            if best is None or row["wall_time_s"] < best["wall_time_s"]:
+                best = row
+        assert best is not None
+        best["obs"] = mode
+        rows.append(best)
+    return rows
+
+
+def format_obs_table(rows: List[Dict[str, object]]) -> str:
+    """Render the observability-overhead rows as a fixed-width table."""
+    baseline = next((row for row in rows if row["obs"] == "baseline"),
+                    rows[0])
+    baseline_rate = float(baseline["devices_per_second"])
+    header = (f"{'obs':<10} {'devices':>8} {'wall (s)':>9} "
+              f"{'dev/s':>8} {'vs baseline':>12}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        relative = float(row["devices_per_second"]) / baseline_rate \
+            if baseline_rate else 0.0
+        lines.append(
+            f"{row['obs']:<10} {row['devices']:>8} "
+            f"{row['wall_time_s']:>9.2f} "
+            f"{row['devices_per_second']:>8.0f} {relative:>11.1%}")
+    return "\n".join(lines)
+
+
 def run(device_count: int = 1000,
         transports: Sequence[str] = DEFAULT_TRANSPORTS,
         profile: Optional[DeviceProfile] = None,
@@ -285,6 +361,8 @@ def main() -> None:
     print(format_concurrency_table(run_concurrency_comparison()))
     print()
     print(format_store_table(run_store_comparison()))
+    print()
+    print(format_obs_table(run_obs_comparison()))
 
 
 if __name__ == "__main__":

@@ -21,7 +21,17 @@ import asyncio
 import threading
 import time as _time
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Union
+from contextlib import nullcontext
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Union,
+)
 
 from repro.core.config import ErasmusConfig
 from repro.core.protocol import (
@@ -48,6 +58,22 @@ from repro.fleet.transport import (
 )
 from repro.sim.engine import SimulationEngine
 from repro.store import MemoryStore, StateStore
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle broken at runtime
+    from repro.obs.service import Observability
+
+
+def _default_obs() -> "Observability":
+    """The shared inert observability object.
+
+    Imported lazily: ``repro.obs`` itself imports ``repro.fleet.sinks``
+    (SLO rules stream over the report fanout), so a module-level import
+    here would close an import cycle.  By the time any verifier is
+    *constructed* both packages are fully initialized.
+    """
+    from repro.obs.service import NULL_OBSERVABILITY
+    return NULL_OBSERVABILITY
+
 
 #: Default number of devices verified per shard of a collection round.
 DEFAULT_BATCH_SIZE = 256
@@ -120,19 +146,34 @@ class FleetVerifier(BaseVerifier):
     MemoryStore` keeps the historical in-process behaviour; pass a
     :class:`repro.store.JsonlStore` or :class:`repro.store.SqliteStore`
     to make the deployment restartable via :meth:`restore`.
+
+    ``obs`` attaches a :class:`repro.obs.Observability` to the
+    collection hot path: per-device verify latency histograms, round
+    counters and span traces.  The default (``None`` →
+    :data:`repro.obs.NULL_OBSERVABILITY`) keeps every instrumented
+    path at historical cost behind a single ``enabled`` test.
     """
 
     def __init__(self, config: ErasmusConfig,
                  schedule_tolerance: float = 0.25,
                  allowed_missing: int = 0,
                  sinks: Iterable[ReportSink] = (),
-                 store: Optional[StateStore] = None) -> None:
+                 store: Optional[StateStore] = None,
+                 obs: Optional["Observability"] = None) -> None:
         super().__init__(config, schedule_tolerance=schedule_tolerance,
                          allowed_missing=allowed_missing,
                          store=store if store is not None else MemoryStore())
         self.sinks: List[ReportSink] = list(sinks)
         self.health = FleetHealth()
         self.rounds_completed = 0
+        self.obs = obs if obs is not None else _default_obs()
+        #: Label for this verifier's per-shard metrics and span paths;
+        #: a ShardedFleetVerifier renames its workers "0".."N-1".
+        self.obs_shard = "0"
+        # A sharded verifier's workers flip this off: their rounds are
+        # fractions of one fleet round, which the sharded collect_all
+        # records once, merged, instead.
+        self._obs_record_rounds = True
         # Per-device precompiled fast verification paths (see
         # DeviceJudge); rebuilt transparently if a re-enrollment
         # replaces a device's key.
@@ -290,6 +331,8 @@ class FleetVerifier(BaseVerifier):
             self.store.append_report(report)
         self._advance_bookkeeping(report)
         self.health.record(report)
+        if self.obs.enabled:
+            self.obs.report_committed(report)
         for sink in self.sinks:
             sink.emit(report)
         return report
@@ -344,12 +387,17 @@ class FleetVerifier(BaseVerifier):
                       transport, stale_before: int, started: float,
                       checkpoint: bool) -> RoundReports:
         """Stamp the round's stats and fold state into a checkpoint."""
-        stats.wall_seconds = _time.perf_counter() - started
+        ended = _time.perf_counter()
+        stats.wall_start = started
+        stats.wall_end = ended
+        stats.wall_seconds = ended - started
         stats.stale_responses_rejected = \
             getattr(transport, "stale_responses_rejected", 0) - stale_before
         reports.stats = stats
         self.rounds_completed += 1
         self.health.record_round(stats)
+        if self.obs.enabled and self._obs_record_rounds:
+            self.obs.round_finished(stats)
         if checkpoint:
             self.checkpoint()
         return reports
@@ -521,22 +569,62 @@ class FleetVerifier(BaseVerifier):
         pool = ThreadPoolExecutor(max_workers=max_workers) \
             if max_workers is not None and max_workers > 1 else None
 
-        async def _collect_shard(shard: List[str]):
-            responses = await atransport.exchange_many(
-                {device_id: request_bytes for device_id in shard})
-            shard_time = collection_time if collection_time is not None \
-                else engine.now
-            verify = self._verify_payload_fast
-            if pool is not None and len(shard) > 1:
-                loop = asyncio.get_running_loop()
-                shard_reports = list(await asyncio.gather(*[
-                    loop.run_in_executor(pool, verify, device_id,
-                                         responses.get(device_id), shard_time)
-                    for device_id in shard]))
-            else:
-                shard_reports = [
-                    verify(device_id, responses.get(device_id), shard_time)
-                    for device_id in shard]
+        obs = self.obs
+        obs_enabled = obs.enabled
+        round_span = None
+
+        async def _collect_shard(shard: List[str], batch_index: int):
+            shard_cm = obs.trace_shard(round_span, batch_index,
+                                       devices=len(shard)) \
+                if obs_enabled else nullcontext()
+            with shard_cm as shard_span:
+                responses = await atransport.exchange_many(
+                    {device_id: request_bytes for device_id in shard})
+                shard_time = collection_time \
+                    if collection_time is not None else engine.now
+                verify = self._verify_payload_fast
+                if obs_enabled:
+                    # Wall time goes only to the histogram — spans carry
+                    # virtual time, keeping traces byte-reproducible.
+                    observe = obs.verify_observer(self.obs_shard).observe
+                    perf = _time.perf_counter
+
+                    def _verify_observed(device_id: str
+                                         ) -> VerificationReport:
+                        verify_started = perf()
+                        report = verify(device_id,
+                                        responses.get(device_id),
+                                        shard_time)
+                        observe(perf() - verify_started)
+                        obs.record_device_verify(shard_span, device_id,
+                                                 report.status.value)
+                        return report
+
+                    if pool is not None and len(shard) > 1:
+                        loop = asyncio.get_running_loop()
+                        shard_reports = list(await asyncio.gather(*[
+                            loop.run_in_executor(pool, _verify_observed,
+                                                 device_id)
+                            for device_id in shard]))
+                    else:
+                        shard_reports = [_verify_observed(device_id)
+                                         for device_id in shard]
+                    if shard_span is not None:
+                        shard_span.attrs["received"] = sum(
+                            1 for device_id in shard
+                            if responses.get(device_id) is not None)
+                elif pool is not None and len(shard) > 1:
+                    loop = asyncio.get_running_loop()
+                    shard_reports = list(await asyncio.gather(*[
+                        loop.run_in_executor(pool, verify, device_id,
+                                             responses.get(device_id),
+                                             shard_time)
+                        for device_id in shard]))
+                else:
+                    shard_reports = [
+                        verify(device_id, responses.get(device_id),
+                               shard_time)
+                        for device_id in shard]
             return responses, shard_reports
 
         in_flight: List[asyncio.Task] = []
@@ -547,23 +635,34 @@ class FleetVerifier(BaseVerifier):
             while next_shard < len(shards) and \
                     len(in_flight) < max_inflight_shards:
                 in_flight.append(asyncio.ensure_future(
-                    _collect_shard(shards[next_shard])))
+                    _collect_shard(shards[next_shard], next_shard)))
                 next_shard += 1
 
+        if obs_enabled:
+            obs.rounds_inflight.inc()
+        round_cm = obs.trace_round(self.rounds_completed + 1,
+                                   worker=self.obs_shard,
+                                   devices=len(ids),
+                                   shards=len(shards)) \
+            if obs_enabled else nullcontext()
         current: Optional[asyncio.Task] = None
         try:
-            with SinkFanout(self.sinks):
-                _keep_window_full()
-                shard_index = 0
-                while in_flight:
-                    current = in_flight.pop(0)
-                    responses, shard_reports = await current
-                    current = None
+            with round_cm as round_span:
+                with SinkFanout(self.sinks):
                     _keep_window_full()
-                    self._count_batch(stats, shards[shard_index], responses)
-                    shard_index += 1
-                    for report in shard_reports:
-                        reports.append(self._commit(report))
+                    shard_index = 0
+                    while in_flight:
+                        current = in_flight.pop(0)
+                        responses, shard_reports = await current
+                        current = None
+                        _keep_window_full()
+                        self._count_batch(stats, shards[shard_index],
+                                          responses)
+                        shard_index += 1
+                        for report in shard_reports:
+                            reports.append(self._commit(report))
+                if round_span is not None:
+                    round_span.attrs["reports"] = len(reports)
         except BaseException:
             # Include the task being awaited when the failure struck —
             # e.g. an external cancellation (asyncio.wait_for timeout)
@@ -580,6 +679,8 @@ class FleetVerifier(BaseVerifier):
             self.sinks = [sink for sink in self.sinks if not sink.closed]
             raise
         finally:
+            if obs_enabled:
+                obs.rounds_inflight.dec()
             if pool is not None:
                 pool.shutdown(wait=True)
         return self._finish_round(reports, stats, atransport, stale_before,
@@ -693,7 +794,8 @@ class ShardedFleetVerifier:
                  allowed_missing: int = 0,
                  sinks: Iterable[ReportSink] = (),
                  store: Optional[StateStore] = None,
-                 worker_mode: str = "loop") -> None:
+                 worker_mode: str = "loop",
+                 obs: Optional["Observability"] = None) -> None:
         if shards < 1:
             raise ValueError("a sharded verifier needs at least one shard")
         if worker_mode not in ("loop", "thread"):
@@ -704,12 +806,21 @@ class ShardedFleetVerifier:
         self.shards = shards
         self.sinks: List[ReportSink] = list(sinks)
         self.store = store
+        self.obs = obs if obs is not None else _default_obs()
+        # The lock wraps *around* an ObservedStore (when Fleet.provision
+        # wrapped one in), so recorded store latency stays the
+        # backend's own rather than lock-wait time.
         shared = _LockedStore(store) if store is not None else None
         self.workers: List[FleetVerifier] = [
             FleetVerifier(config, schedule_tolerance=schedule_tolerance,
                           allowed_missing=allowed_missing, sinks=(),
-                          store=shared)
+                          store=shared, obs=self.obs)
             for _ in range(shards)]
+        for index, worker in enumerate(self.workers):
+            # Distinct span/metric shard labels per worker; the fleet
+            # round is recorded once, merged, by collect_all below.
+            worker.obs_shard = str(index)
+            worker._obs_record_rounds = False
         self._order: List[str] = []
         self._shard_of: Dict[str, int] = {}
         self.rounds_completed = 0
@@ -875,12 +986,17 @@ class ShardedFleetVerifier:
         stats = RoundStats.merged([r.stats for r in worker_reports])
         # Fleet-level figures: the workers' wall clocks overlap, and
         # their stale-counter samples race, so both are re-measured here.
-        stats.wall_seconds = _time.perf_counter() - started
+        ended = _time.perf_counter()
+        stats.wall_start = started
+        stats.wall_end = ended
+        stats.wall_seconds = ended - started
         stats.stale_responses_rejected = \
             getattr(transport, "stale_responses_rejected", 0) - stale_before
         reports.stats = stats
         self._round_stats.append(stats)
         self.rounds_completed += 1
+        if self.obs.enabled:
+            self.obs.round_finished(stats)
         if checkpoint:
             self.checkpoint()
         return reports
@@ -923,12 +1039,14 @@ class Fleet:
     def __init__(self, profile: DeviceProfile,
                  verifier: Union[FleetVerifier, ShardedFleetVerifier],
                  transport: Transport, engine: SimulationEngine,
-                 devices: Dict[str, ProvisionedDevice]) -> None:
+                 devices: Dict[str, ProvisionedDevice],
+                 obs: Optional["Observability"] = None) -> None:
         self.profile = profile
         self.verifier = verifier
         self.transport = transport
         self.engine = engine
         self._devices = devices
+        self.obs = obs if obs is not None else _default_obs()
 
     @classmethod
     def provision(cls, profile: DeviceProfile, count: int, *,
@@ -945,7 +1063,8 @@ class Fleet:
                   stagger: bool = True,
                   start_time: float = 0.0,
                   transport_options: Optional[Mapping[str, object]] = None,
-                  shards: Optional[int] = None
+                  shards: Optional[int] = None,
+                  obs: Optional["Observability"] = None
                   ) -> "Fleet":
         """Provision ``count`` devices from one profile, ready to attest.
 
@@ -964,11 +1083,28 @@ class Fleet:
         fleet onto a :class:`ShardedFleetVerifier` with that many
         concurrent shard workers instead of a single
         :class:`FleetVerifier`.
+
+        ``obs`` threads one :class:`repro.obs.Observability` through
+        the whole stack: its clock binds to the fleet engine, the
+        store is wrapped in a latency-recording interposition, the
+        transport's packet events are hooked, the streaming SLO sink
+        (when rules are configured) joins the report fanout, and the
+        verifier records per-device/per-round metrics and span traces.
+        ``fleet.obs.serve()`` then exposes everything over HTTP.
         """
         if count <= 0:
             raise ValueError("a fleet needs at least one device")
         if engine is None:
             engine = SimulationEngine()
+        if obs is None:
+            obs = _default_obs()
+        if obs.enabled:
+            obs.bind_engine(engine)
+            # The default MemoryStore is materialized here (instead of
+            # inside the verifier) so journal/checkpoint latency is
+            # observed even without an explicit durable backend.
+            store = obs.wrap_store(
+                store if store is not None else MemoryStore())
         options = dict(transport_options or {})
         if isinstance(transport, str):
             try:
@@ -989,17 +1125,25 @@ class Fleet:
         else:
             built_transport = transport(engine, **options)
 
+        round_sinks = list(sinks)
+        if obs.enabled:
+            obs.attach_transport(built_transport)
+            slo_sink = obs.health_sink()
+            if slo_sink is not None and slo_sink not in round_sinks:
+                round_sinks.append(slo_sink)
         if shards is not None:
             verifier: Union[FleetVerifier, ShardedFleetVerifier] = \
                 ShardedFleetVerifier(profile.config, shards=shards,
                                      schedule_tolerance=schedule_tolerance,
                                      allowed_missing=allowed_missing,
-                                     sinks=sinks, store=store)
+                                     sinks=round_sinks, store=store,
+                                     obs=obs)
         else:
             verifier = FleetVerifier(profile.config,
                                      schedule_tolerance=schedule_tolerance,
                                      allowed_missing=allowed_missing,
-                                     sinks=sinks, store=store)
+                                     sinks=round_sinks, store=store,
+                                     obs=obs)
         devices: Dict[str, ProvisionedDevice] = {}
         interval = profile.config.measurement_interval
         for index in range(count):
@@ -1013,8 +1157,12 @@ class Fleet:
             built_transport.register(device)
             verifier.enroll_device(device)
             devices[device_id] = device
+        if obs.enabled:
+            # inc, not set: two fleets sharing one obs should add up.
+            obs.devices_enrolled.inc(count)
         return cls(profile=profile, verifier=verifier,
-                   transport=built_transport, engine=engine, devices=devices)
+                   transport=built_transport, engine=engine,
+                   devices=devices, obs=obs)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -35,7 +35,18 @@ class RoundStats:
     by ``collect_all`` (on the report list's ``stats`` attribute) and
     recorded, in memory only, on the verifier's :class:`FleetHealth` —
     wall-clock figures are machine-dependent, so they are deliberately
-    kept out of the persisted health row.
+    kept out of the persisted health row (and out of campaign artifact
+    rows and span traces, which must be byte-reproducible).
+
+    ``wall_start`` / ``wall_end`` are one *monotonic* clock pair
+    (``time.perf_counter``) bracketing the round, stamped by the
+    verifier that ran it, so overlapping rounds (the async pipelined
+    collector, sharded workers) can be ordered and intersected after
+    the fact.  Monotonic stamps are only comparable within one
+    process — they order and measure, they do not date.  For a single
+    verifier's round ``wall_seconds == wall_end - wall_start``; a
+    *merged* stat keeps the historical "slowest shard" wall_seconds
+    while its pair brackets the union of the shards' pairs.
     """
 
     requests_sent: int = 0
@@ -44,6 +55,8 @@ class RoundStats:
     stale_responses_rejected: int = 0
     shards: int = 0
     wall_seconds: float = 0.0
+    wall_start: float = 0.0
+    wall_end: float = 0.0
 
     @property
     def devices_per_second(self) -> float:
@@ -57,9 +70,13 @@ class RoundStats:
         """Combine per-shard stats into one fleet-wide round.
 
         Counters add; wall-clock is the slowest shard, since shards run
-        concurrently.
+        concurrently.  The monotonic pair brackets every part that
+        stamped one (``wall_start`` the earliest start, ``wall_end``
+        the latest end; parts that never stamped — all-zero pair —
+        don't contribute).
         """
         total = cls()
+        starts = []
         for part in parts:
             total.requests_sent += part.requests_sent
             total.responses_received += part.responses_received
@@ -67,6 +84,11 @@ class RoundStats:
             total.stale_responses_rejected += part.stale_responses_rejected
             total.shards += part.shards
             total.wall_seconds = max(total.wall_seconds, part.wall_seconds)
+            if part.wall_start or part.wall_end:
+                starts.append(part.wall_start)
+                total.wall_end = max(total.wall_end, part.wall_end)
+        if starts:
+            total.wall_start = min(starts)
         return total
 
     def summary(self) -> str:
@@ -119,15 +141,26 @@ class SinkFanout:
         self.closed = False
 
     def flush(self) -> None:
-        """Flush every still-open sink.
+        """Flush every still-open sink; first failure raises after all.
 
         Sinks that were already closed (a failed earlier round, a
         shared sink closed by another owner) are skipped — flushing a
         released stream would raise and could double-flush buffers.
+        One sink failing to flush must not strand the reports buffered
+        in the sinks behind it, so every sink gets its flush before the
+        first error propagates — the same semantics :meth:`close` has
+        always had.
         """
+        first_error: Optional[Exception] = None
         for sink in self.sinks:
             if not sink.closed:
-                sink.flush()
+                try:
+                    sink.flush()
+                except Exception as exc:
+                    if first_error is None:
+                        first_error = exc
+        if first_error is not None:
+            raise first_error
 
     def close(self) -> None:
         """Close every sink; the first failure propagates after all run.

@@ -1,0 +1,69 @@
+"""``repro.obs`` — live observability for fleet attestation.
+
+The ROADMAP item "make fleet health a service, not a return value",
+delivered as three cooperating pieces:
+
+* :mod:`repro.obs.metrics` — a dependency-free metrics registry
+  (:class:`Counter` / :class:`Gauge` / :class:`Histogram` with labels
+  and fixed buckets) rendered in the Prometheus text format and served
+  over a stdlib HTTP endpoint (:mod:`repro.obs.server`);
+* :mod:`repro.obs.tracing` — span traces of every collection round
+  (``round`` → ``shard`` → ``device_verify``) with ids *derived* from
+  their coordinates, so identically-seeded runs export byte-identical
+  JSONL;
+* :mod:`repro.obs.slo` — :class:`StreamingHealthSink` evaluates SLO
+  rules as reports stream through the ordinary sink fanout, firing
+  violation events mid-round instead of post-hoc.
+
+One :class:`Observability` object threads through
+``Fleet.provision(obs=...)`` and lights up the whole stack; the
+:data:`NULL_OBSERVABILITY` default keeps every instrumented path at
+historical cost (pinned by ``benchmarks/test_obs_overhead.py``).
+See ``MONITORING.md`` for the metric catalog and scrape examples.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    DEFAULT_ROUND_BUCKETS,
+    MetricError,
+    MetricsRegistry,
+)
+from repro.obs.server import MetricsServer
+from repro.obs.service import (
+    NULL_OBSERVABILITY,
+    NullObservability,
+    Observability,
+    ObservedStore,
+)
+from repro.obs.slo import (
+    AttestationWindowRule,
+    CoverageRule,
+    FreshnessRule,
+    LostBudgetRule,
+    SloRule,
+    SloViolation,
+    StreamingHealthSink,
+)
+from repro.obs.tracing import Span, SpanTracer, derive_span_id
+
+__all__ = [
+    "AttestationWindowRule",
+    "CoverageRule",
+    "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_ROUND_BUCKETS",
+    "FreshnessRule",
+    "LostBudgetRule",
+    "MetricError",
+    "MetricsRegistry",
+    "MetricsServer",
+    "NULL_OBSERVABILITY",
+    "NullObservability",
+    "Observability",
+    "ObservedStore",
+    "SloRule",
+    "SloViolation",
+    "Span",
+    "SpanTracer",
+    "StreamingHealthSink",
+    "derive_span_id",
+]

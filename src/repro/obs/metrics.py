@@ -1,0 +1,320 @@
+"""A dependency-free metrics registry with Prometheus text exposition.
+
+Three instrument kinds, modelled on the Prometheus client data model
+but implemented on nothing beyond the standard library:
+
+* :class:`Counter` — a monotonically increasing total;
+* :class:`Gauge` — a value that can go up and down;
+* :class:`Histogram` — observations bucketed against *fixed* boundaries
+  chosen at registration time, rendered as the cumulative
+  ``_bucket{le=...}`` / ``_sum`` / ``_count`` series scrapers expect.
+
+Every instrument supports labels: ``registry.counter("x", labels=
+("status",))`` returns a parent whose :meth:`Metric.labels` call
+resolves (and caches) one child per label-value combination.  Children
+are plain Python objects mutated with ``+=`` under the GIL, which is
+what makes reads *lock-free*: :meth:`MetricsRegistry.render` (and the
+HTTP scrape endpoint built on it) never takes a lock — it snapshots
+each child's numbers with atomic reads/copies, so a scrape can never
+block or be blocked by the collection hot path.  The price is that a
+scrape landing mid-update may see a histogram whose ``_sum`` is one
+observation ahead of its buckets; for monitoring that skew is
+harmless, and the next scrape heals it.
+
+Text rendering is deterministic: metrics sort by name, children by
+label values, so two registries holding the same numbers render
+byte-identical expositions (the obs test-suite pins this).
+"""
+
+from __future__ import annotations
+
+import bisect
+import threading
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+#: Default latency buckets (seconds): tuned for the per-device verify
+#: path, which sits in the tens-of-microseconds to milliseconds range.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0)
+
+#: Coarser buckets (seconds) for whole-round / whole-cell durations.
+DEFAULT_ROUND_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 120.0)
+
+
+class MetricError(ValueError):
+    """A metric was registered or used inconsistently."""
+
+
+def _format_value(value: float) -> str:
+    """Render a sample value the way Prometheus text format expects."""
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"') \
+        .replace("\n", "\\n")
+
+
+def _escape_help(text: str) -> str:
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_pairs(names: Sequence[str], values: Sequence[str]) -> str:
+    """Render one sample's ``{name="value",...}`` block (may be empty)."""
+    if not names:
+        return ""
+    pairs = ",".join(f'{name}="{_escape_label_value(str(value))}"'
+                     for name, value in zip(names, values))
+    return "{" + pairs + "}"
+
+
+class _CounterChild:
+    """One labelled counter series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise MetricError("counters only go up; use a Gauge instead")
+        self.value += amount
+
+
+class _GaugeChild:
+    """One labelled gauge series."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class _HistogramChild:
+    """One labelled histogram series: fixed buckets, running sum/count.
+
+    ``counts[i]`` is the number of observations that fell into bucket
+    ``i`` (non-cumulative; rendering accumulates).  ``observe`` is the
+    hot-path call: one bisect plus three in-place adds.
+    """
+
+    __slots__ = ("boundaries", "counts", "sum", "count")
+
+    def __init__(self, boundaries: Tuple[float, ...]) -> None:
+        self.boundaries = boundaries
+        self.counts = [0] * (len(boundaries) + 1)  # last slot: +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.boundaries, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+_CHILD_FACTORIES = {
+    "counter": lambda metric: _CounterChild(),
+    "gauge": lambda metric: _GaugeChild(),
+    "histogram": lambda metric: _HistogramChild(metric.buckets),
+}
+
+
+class Metric:
+    """One registered metric family: a parent plus labelled children.
+
+    Unlabelled metrics expose the child API (``inc`` / ``set`` /
+    ``observe``) directly on the parent through a default child; the
+    hot path for labelled metrics is ``metric.labels(value)`` which
+    caches the child, so repeated lookups cost one dict hit.
+    """
+
+    def __init__(self, name: str, kind: str, help: str = "",
+                 label_names: Sequence[str] = (),
+                 buckets: Tuple[float, ...] = ()) -> None:
+        self.name = name
+        self.kind = kind
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(label_names)
+        self.buckets = buckets
+        # Children mutate under the GIL; the creation lock only guards
+        # the insert of a *new* child (reads never take it).
+        self._children: Dict[Tuple[str, ...], object] = {}
+        self._lock = threading.Lock()
+        if not self.label_names:
+            self._default = self.labels()
+
+    def labels(self, *values: object, **kwvalues: object):
+        """The child series for one label-value combination (cached)."""
+        if kwvalues:
+            if values:
+                raise MetricError(
+                    "pass label values either positionally or by name, "
+                    "not both")
+            try:
+                values = tuple(kwvalues[name] for name in self.label_names)
+            except KeyError as exc:
+                raise MetricError(
+                    f"metric {self.name!r} has labels "
+                    f"{list(self.label_names)}, got {sorted(kwvalues)}"
+                    ) from exc
+        key = tuple(str(value) for value in values)
+        if len(key) != len(self.label_names):
+            raise MetricError(
+                f"metric {self.name!r} takes {len(self.label_names)} "
+                f"label value(s) ({list(self.label_names)}), got "
+                f"{len(key)}")
+        child = self._children.get(key)
+        if child is None:
+            with self._lock:
+                child = self._children.setdefault(
+                    key, _CHILD_FACTORIES[self.kind](self))
+        return child
+
+    # -- unlabelled convenience (delegate to the default child) --------
+    def inc(self, amount: float = 1.0) -> None:
+        self._default.inc(amount)
+
+    def dec(self, amount: float = 1.0) -> None:
+        self._default.dec(amount)
+
+    def set(self, value: float) -> None:
+        self._default.set(value)
+
+    def observe(self, value: float) -> None:
+        self._default.observe(value)
+
+    # -- reads ----------------------------------------------------------
+    def child_items(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """Children sorted by label values (a lock-free snapshot)."""
+        return sorted(self._children.items())
+
+    def value(self, *label_values: object) -> float:
+        """Current value of one counter/gauge series (0 if unseen)."""
+        key = tuple(str(value) for value in label_values)
+        child = self._children.get(key)
+        return 0.0 if child is None else child.value
+
+    def render(self) -> List[str]:
+        """This family's exposition lines (``# HELP``/``# TYPE`` first)."""
+        lines = []
+        if self.help:
+            lines.append(f"# HELP {self.name} {_escape_help(self.help)}")
+        lines.append(f"# TYPE {self.name} {self.kind}")
+        for key, child in self.child_items():
+            if self.kind == "histogram":
+                lines.extend(self._render_histogram(key, child))
+            else:
+                lines.append(
+                    f"{self.name}{_label_pairs(self.label_names, key)} "
+                    f"{_format_value(child.value)}")
+        return lines
+
+    def _render_histogram(self, key: Tuple[str, ...],
+                          child: _HistogramChild) -> List[str]:
+        # Copy the per-bucket counts in one atomic list() so the
+        # cumulative series is internally consistent even if an
+        # observation lands mid-render.
+        counts = list(child.counts)
+        lines = []
+        cumulative = 0
+        names = self.label_names + ("le",)
+        for boundary, count in zip(child.boundaries, counts):
+            cumulative += count
+            labels = _label_pairs(names, key + (_format_value(boundary),))
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        cumulative += counts[-1]
+        labels = _label_pairs(names, key + ("+Inf",))
+        lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        plain = _label_pairs(self.label_names, key)
+        lines.append(f"{self.name}_sum{plain} {_format_value(child.sum)}")
+        lines.append(f"{self.name}_count{plain} {cumulative}")
+        return lines
+
+
+class MetricsRegistry:
+    """All of one deployment's metrics, renderable as a text exposition.
+
+    Registration is idempotent when the signature matches (same kind,
+    labels and buckets) so independently-constructed components can
+    share instrument definitions; a mismatched re-registration raises
+    :class:`MetricError` rather than silently splitting a series.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+        self._lock = threading.Lock()
+
+    def _register(self, name: str, kind: str, help: str,
+                  labels: Sequence[str],
+                  buckets: Tuple[float, ...] = ()) -> Metric:
+        with self._lock:
+            existing = self._metrics.get(name)
+            if existing is not None:
+                if existing.kind != kind or \
+                        existing.label_names != tuple(labels) or \
+                        existing.buckets != buckets:
+                    raise MetricError(
+                        f"metric {name!r} is already registered as a "
+                        f"{existing.kind} with labels "
+                        f"{list(existing.label_names)}")
+                return existing
+            metric = Metric(name, kind, help=help, label_names=labels,
+                            buckets=buckets)
+            self._metrics[name] = metric
+            return metric
+
+    def counter(self, name: str, help: str = "",
+                labels: Sequence[str] = ()) -> Metric:
+        """Register (or fetch) a counter family."""
+        return self._register(name, "counter", help, labels)
+
+    def gauge(self, name: str, help: str = "",
+              labels: Sequence[str] = ()) -> Metric:
+        """Register (or fetch) a gauge family."""
+        return self._register(name, "gauge", help, labels)
+
+    def histogram(self, name: str, help: str = "",
+                  labels: Sequence[str] = (),
+                  buckets: Iterable[float] = DEFAULT_LATENCY_BUCKETS
+                  ) -> Metric:
+        """Register (or fetch) a histogram family with fixed buckets."""
+        boundaries = tuple(sorted(set(float(b) for b in buckets)))
+        if not boundaries:
+            raise MetricError("a histogram needs at least one bucket "
+                              "boundary")
+        return self._register(name, "histogram", help, labels,
+                              buckets=boundaries)
+
+    def get(self, name: str) -> Optional[Metric]:
+        """Look up a registered family by name (``None`` if absent)."""
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """All registered family names, sorted."""
+        return sorted(self._metrics)
+
+    def render(self) -> str:
+        """The full Prometheus text exposition (sorted, deterministic)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            lines.extend(self._metrics[name].render())
+        return "\n".join(lines) + ("\n" if lines else "")

@@ -1,0 +1,106 @@
+"""A tiny stdlib HTTP endpoint serving the metrics exposition.
+
+One daemon thread runs a :class:`http.server.ThreadingHTTPServer`
+scraping three paths:
+
+* ``GET /metrics`` — the Prometheus text exposition of the bound
+  :class:`~repro.obs.metrics.MetricsRegistry` (renders lock-free, so a
+  scrape landing mid-round never blocks the collection hot path);
+* ``GET /slo`` — the bound :class:`~repro.obs.slo.StreamingHealthSink`
+  violations as JSON (empty list without a sink);
+* ``GET /healthz`` — liveness (``ok``).
+
+Binding port 0 picks a free ephemeral port — the test-suite default —
+and :attr:`MetricsServer.url` reports where the scrape landed.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.slo import StreamingHealthSink
+
+#: Content type of the Prometheus text exposition format.
+EXPOSITION_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class MetricsServer:
+    """Serve one registry (and optional SLO sink) over HTTP.
+
+    The server starts on construction and runs on a daemon thread;
+    :meth:`close` shuts it down idempotently.  Also usable as a
+    context manager.
+    """
+
+    def __init__(self, registry: MetricsRegistry,
+                 host: str = "127.0.0.1", port: int = 0,
+                 health: Optional[StreamingHealthSink] = None) -> None:
+        self.registry = registry
+        self.health = health
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 (stdlib contract)
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = server.registry.render().encode("utf-8")
+                    self._reply(200, EXPOSITION_CONTENT_TYPE, body)
+                elif path == "/slo":
+                    rows = server.health.violation_rows() \
+                        if server.health is not None else []
+                    body = json.dumps(rows, sort_keys=True).encode("utf-8")
+                    self._reply(200, "application/json", body)
+                elif path == "/healthz":
+                    self._reply(200, "text/plain; charset=utf-8", b"ok\n")
+                else:
+                    self._reply(404, "text/plain; charset=utf-8",
+                                b"not found\n")
+
+            def _reply(self, status: int, content_type: str,
+                       body: bytes) -> None:
+                self.send_response(status)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *_args) -> None:
+                pass  # scrapes must not spam the deployment's stdout
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name=f"metrics-server:{self.port}", daemon=True)
+        self._thread.start()
+        self.closed = False
+
+    @property
+    def url(self) -> str:
+        """Base URL of the running endpoint."""
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def metrics_url(self) -> str:
+        """Full URL of the scrape path."""
+        return f"{self.url}/metrics"
+
+    def close(self) -> None:
+        """Stop serving and release the socket (idempotent)."""
+        if self.closed:
+            return
+        self.closed = True
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+    def __enter__(self) -> "MetricsServer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -428,3 +428,74 @@ def test_sink_fanout_flush_skips_closed_sinks():
     assert open_sink.flush_calls == 1
     assert closed_sink.flush_calls == 0
     assert closed_sink.close_calls == 1
+
+
+class _ExplodingFlushSink(_FlakySink):
+    """A sink whose flush itself raises."""
+
+    def flush(self):
+        super().flush()
+        raise OSError("flush target gone")
+
+
+def test_sink_fanout_flush_reaches_every_sink_despite_failure():
+    from repro.fleet import SinkFanout
+
+    bad, late = _ExplodingFlushSink(), _FlakySink()
+    fanout = SinkFanout([bad, late])
+    # The failing sink must not strand reports buffered in the sinks
+    # behind it: every sink is flushed, then the first error raises —
+    # the same semantics close() has always had.
+    with pytest.raises(OSError, match="flush target gone"):
+        fanout.flush()
+    assert bad.flush_calls == 1
+    assert late.flush_calls == 1
+
+
+def test_sink_fanout_flush_raises_first_error_of_several():
+    from repro.fleet import SinkFanout
+
+    first, second = _ExplodingFlushSink(), _ExplodingFlushSink()
+    fanout = SinkFanout([first, second])
+    with pytest.raises(OSError) as excinfo:
+        fanout.flush()
+    assert first.flush_calls == 1
+    assert second.flush_calls == 1
+    # Deterministically the *first* failure, not the last.
+    assert excinfo.value is not None
+
+
+def test_round_stats_carry_a_monotonic_wall_pair(fleet):
+    fleet.run_until(60.0)
+    stats = fleet.collect_all().stats
+    assert stats.wall_end > stats.wall_start > 0.0
+    assert stats.wall_seconds == stats.wall_end - stats.wall_start
+
+
+def test_consecutive_rounds_have_ordered_wall_pairs(fleet):
+    fleet.run_until(60.0)
+    first = fleet.collect_all().stats
+    fleet.run_until(120.0)
+    second = fleet.collect_all().stats
+    # One process-wide monotonic clock: round two started after round
+    # one ended, and the pairs order the rounds without wall dates.
+    assert second.wall_start >= first.wall_end
+
+
+def test_merged_round_stats_bracket_their_parts():
+    from repro.fleet import RoundStats
+
+    parts = [
+        RoundStats(requests_sent=4, wall_seconds=2.0, wall_start=10.0,
+                   wall_end=12.0),
+        RoundStats(requests_sent=6, wall_seconds=3.0, wall_start=11.0,
+                   wall_end=14.0),
+        RoundStats(requests_sent=1),  # never stamped: must not shrink
+    ]
+    merged = RoundStats.merged(parts)
+    assert merged.requests_sent == 11
+    assert merged.wall_seconds == 3.0  # slowest shard, as before
+    assert merged.wall_start == 10.0
+    assert merged.wall_end == 14.0
+    unstamped = RoundStats.merged([RoundStats(requests_sent=2)])
+    assert (unstamped.wall_start, unstamped.wall_end) == (0.0, 0.0)

@@ -1,0 +1,131 @@
+"""The metrics registry: instruments, labels, and the text exposition."""
+
+import pytest
+
+from repro.obs import MetricError, MetricsRegistry
+
+
+def test_counter_counts_and_renders():
+    registry = MetricsRegistry()
+    counter = registry.counter("jobs_total", "Jobs processed.")
+    counter.inc()
+    counter.inc(4)
+    assert counter.value() == 5
+    text = registry.render()
+    assert "# HELP jobs_total Jobs processed." in text
+    assert "# TYPE jobs_total counter" in text
+    assert "jobs_total 5" in text
+
+
+def test_counter_rejects_negative_increment():
+    counter = MetricsRegistry().counter("c")
+    with pytest.raises(MetricError):
+        counter.inc(-1)
+
+
+def test_gauge_moves_both_ways():
+    gauge = MetricsRegistry().gauge("inflight")
+    gauge.inc()
+    gauge.inc()
+    gauge.dec()
+    assert gauge.value() == 1
+    gauge.set(7.5)
+    assert gauge.value() == 7.5
+
+
+def test_labelled_children_are_cached_and_sorted():
+    registry = MetricsRegistry()
+    counter = registry.counter("reports_total", labels=("status",))
+    healthy = counter.labels("healthy")
+    assert counter.labels("healthy") is healthy  # cached child
+    counter.labels("no_data").inc(2)
+    healthy.inc()
+    text = registry.render()
+    # Children render sorted by label value, whatever the touch order.
+    assert text.index('status="healthy"') < text.index('status="no_data"')
+    assert 'reports_total{status="no_data"} 2' in text
+    assert counter.value("healthy") == 1
+    assert counter.value("never_seen") == 0.0
+
+
+def test_labels_by_keyword_and_arity_errors():
+    counter = MetricsRegistry().counter("x", labels=("op", "outcome"))
+    assert counter.labels(op="read", outcome="ok") is \
+        counter.labels("read", "ok")
+    with pytest.raises(MetricError):
+        counter.labels("read")  # missing a value
+    with pytest.raises(MetricError):
+        counter.labels("read", outcome="ok")  # mixed styles
+    with pytest.raises(MetricError):
+        counter.labels(op="read", wrong="ok")
+
+
+def test_histogram_buckets_are_cumulative_with_inf():
+    registry = MetricsRegistry()
+    hist = registry.histogram("latency", buckets=(0.1, 1.0))
+    for value in (0.05, 0.05, 0.5, 5.0):
+        hist.observe(value)
+    text = registry.render()
+    assert 'latency_bucket{le="0.1"} 2' in text
+    assert 'latency_bucket{le="1"} 3' in text
+    assert 'latency_bucket{le="+Inf"} 4' in text
+    assert "latency_sum 5.6" in text
+    assert "latency_count 4" in text
+
+
+def test_histogram_boundary_observation_lands_in_its_bucket():
+    hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+    hist.observe(1.0)  # le="1" is inclusive, Prometheus-style
+    child = hist.labels()
+    assert child.counts[0] == 1
+
+
+def test_histogram_needs_buckets():
+    with pytest.raises(MetricError):
+        MetricsRegistry().histogram("h", buckets=())
+
+
+def test_reregistration_is_idempotent_on_matching_signature():
+    registry = MetricsRegistry()
+    first = registry.counter("c", labels=("op",))
+    again = registry.counter("c", labels=("op",))
+    assert again is first
+    with pytest.raises(MetricError):
+        registry.counter("c")  # different labels
+    with pytest.raises(MetricError):
+        registry.gauge("c", labels=("op",))  # different kind
+
+
+def test_label_values_are_escaped():
+    registry = MetricsRegistry()
+    counter = registry.counter("c", labels=("path",))
+    counter.labels('a"b\\c\nd').inc()
+    text = registry.render()
+    assert 'path="a\\"b\\\\c\\nd"' in text
+
+
+def test_render_is_deterministic_across_registries():
+    def build():
+        registry = MetricsRegistry()
+        # Registration/touch order deliberately differs from sort order.
+        registry.gauge("z_gauge").set(1)
+        counter = registry.counter("a_total", labels=("s",))
+        counter.labels("b").inc()
+        counter.labels("a").inc(2)
+        hist = registry.histogram("m_seconds", buckets=(0.5, 2.0))
+        hist.observe(0.1)
+        return registry
+
+    one = build()
+    two = MetricsRegistry()
+    hist = two.histogram("m_seconds", buckets=(0.5, 2.0))
+    hist.observe(0.1)
+    counter = two.counter("a_total", labels=("s",))
+    counter.labels("a").inc(2)
+    counter.labels("b").inc()
+    two.gauge("z_gauge").set(1)
+    assert one.render() == two.render()
+
+
+def test_empty_registry_renders_empty():
+    assert MetricsRegistry().render() == ""

@@ -1,0 +1,103 @@
+"""Property: streaming SLO verdicts equal post-hoc verdicts, exactly.
+
+The streaming path folds reports in one at a time and settles at the
+round boundary; the post-hoc path recomputes the same objective from a
+finished :class:`FleetHealth` — possibly *merged* from per-shard
+aggregates, the way a :class:`ShardedFleetVerifier` builds its
+fleet-wide view.  Both sides accumulate freshness as exact rationals,
+so the verdicts must agree bit-for-bit for any report stream and any
+shard layout (:class:`AttestationWindowRule` is excluded by design:
+report timing does not survive into a post-hoc aggregate).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.verification import DeviceStatus, VerificationReport
+from repro.fleet.sinks import FleetHealth
+from repro.obs import (
+    CoverageRule,
+    FreshnessRule,
+    LostBudgetRule,
+    StreamingHealthSink,
+)
+
+# A report is (status, freshness); NO_DATA reports carry no freshness,
+# exactly as the verifier produces them.
+_statuses = st.sampled_from([DeviceStatus.HEALTHY, DeviceStatus.INFECTED,
+                             DeviceStatus.NO_DATA])
+_freshness = st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+                       allow_infinity=False)
+_reports = st.lists(st.tuples(_statuses, _freshness), min_size=1,
+                    max_size=40)
+
+
+def _materialize(stream):
+    return [VerificationReport(
+        device_id=f"dev-{index:04d}", collection_time=0.0, status=status,
+        freshness=None if status is DeviceStatus.NO_DATA else freshness)
+        for index, (status, freshness) in enumerate(stream)]
+
+
+def _rules(report_count, lost_budget, min_coverage, max_freshness,
+           expect_devices):
+    return [
+        LostBudgetRule(lost_budget),
+        CoverageRule(min_coverage,
+                     expected_devices=report_count if expect_devices
+                     else None),
+        FreshnessRule(max_freshness),
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(stream=_reports,
+       lost_budget=st.integers(min_value=0, max_value=5),
+       min_coverage=st.floats(min_value=0.05, max_value=1.0,
+                              allow_nan=False),
+       max_freshness=st.floats(min_value=1.0, max_value=1e5,
+                               allow_nan=False),
+       expect_devices=st.booleans(),
+       shard_count=st.integers(min_value=1, max_value=5))
+def test_streaming_verdict_equals_merged_post_hoc_verdict(
+        stream, lost_budget, min_coverage, max_freshness, expect_devices,
+        shard_count):
+    reports = _materialize(stream)
+    rules = _rules(len(reports), lost_budget, min_coverage, max_freshness,
+                   expect_devices)
+    sink = StreamingHealthSink(rules)
+    for report in reports:
+        sink.emit(report)
+    sink.flush()  # the round boundary settles every verdict
+    streamed = {violation.rule
+                for violation in sink.violations_for_round(1)}
+
+    # Post-hoc: the same reports dealt round-robin onto shard
+    # aggregates, merged the way the sharded verifier merges them.
+    shards = [FleetHealth() for _ in range(shard_count)]
+    for index, report in enumerate(reports):
+        shards[index % shard_count].record(report)
+    merged = FleetHealth.merged(shards)
+    post_hoc = {rule.name for rule in rules if rule.violated_by(merged)}
+
+    assert streamed == post_hoc
+
+
+@settings(max_examples=40, deadline=None)
+@given(stream=_reports, lost_budget=st.integers(min_value=0, max_value=3))
+def test_mid_round_fire_is_never_retracted_by_the_boundary(stream,
+                                                           lost_budget):
+    """A rule that fires mid-round is violated at end-of-round too —
+    streaming events are irrevocable, never false alarms."""
+    reports = _materialize(stream)
+    rule = LostBudgetRule(lost_budget)
+    sink = StreamingHealthSink([rule])
+    for report in reports:
+        sink.emit(report)
+    fired_mid_round = any(v.streamed for v in sink.violations)
+    sink.flush()
+    if fired_mid_round:
+        health = FleetHealth()
+        for report in reports:
+            health.record(report)
+        assert rule.violated_by(health)

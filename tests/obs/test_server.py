@@ -1,0 +1,70 @@
+"""The stdlib HTTP scrape endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.core.verification import DeviceStatus, VerificationReport
+from repro.obs import (
+    LostBudgetRule,
+    MetricsRegistry,
+    MetricsServer,
+    StreamingHealthSink,
+)
+from repro.obs.server import EXPOSITION_CONTENT_TYPE
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return response.status, response.headers.get("Content-Type"), \
+            response.read().decode("utf-8")
+
+
+def test_metrics_endpoint_serves_the_exposition():
+    registry = MetricsRegistry()
+    registry.counter("up_total").inc(3)
+    with MetricsServer(registry) as server:
+        status, content_type, body = _get(server.metrics_url)
+    assert status == 200
+    assert content_type == EXPOSITION_CONTENT_TYPE
+    assert "up_total 3" in body
+    assert body == registry.render()
+
+
+def test_slo_endpoint_serves_violations_as_json():
+    sink = StreamingHealthSink([LostBudgetRule(0)])
+    sink.emit(VerificationReport(device_id="d", collection_time=0.0,
+                                 status=DeviceStatus.NO_DATA))
+    with MetricsServer(MetricsRegistry(), health=sink) as server:
+        status, content_type, body = _get(server.url + "/slo")
+    assert status == 200
+    assert content_type == "application/json"
+    (row,) = json.loads(body)
+    assert row["rule"] == "lost_budget"
+
+
+def test_slo_endpoint_without_sink_is_empty_list():
+    with MetricsServer(MetricsRegistry()) as server:
+        _status, _ct, body = _get(server.url + "/slo")
+    assert json.loads(body) == []
+
+
+def test_healthz_and_unknown_path():
+    with MetricsServer(MetricsRegistry()) as server:
+        status, _ct, body = _get(server.url + "/healthz")
+        assert (status, body) == (200, "ok\n")
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(server.url + "/nope")
+        assert excinfo.value.code == 404
+
+
+def test_close_is_idempotent_and_releases_the_socket():
+    server = MetricsServer(MetricsRegistry())
+    url = server.metrics_url
+    server.close()
+    server.close()
+    assert server.closed
+    with pytest.raises(urllib.error.URLError):
+        urllib.request.urlopen(url, timeout=0.5)

@@ -1,0 +1,160 @@
+"""The Observability facade, ObservedStore, and the null default."""
+
+import pytest
+
+from repro.core.verification import DeviceStatus, VerificationReport
+from repro.fleet.sinks import RoundStats
+from repro.obs import (
+    NULL_OBSERVABILITY,
+    LostBudgetRule,
+    NullObservability,
+    Observability,
+    ObservedStore,
+)
+from repro.store import MemoryStore
+
+
+def report(status=DeviceStatus.HEALTHY):
+    return VerificationReport(device_id="dev", collection_time=0.0,
+                              status=status)
+
+
+def test_report_committed_counts_by_status():
+    obs = Observability()
+    obs.report_committed(report())
+    obs.report_committed(report())
+    obs.report_committed(report(DeviceStatus.NO_DATA))
+    assert obs.reports_total.value("healthy") == 2
+    assert obs.reports_total.value("no_data") == 1
+
+
+def test_round_finished_folds_stats():
+    obs = Observability()
+    obs.round_finished(RoundStats(requests_sent=10, responses_received=8,
+                                  responses_lost=2,
+                                  stale_responses_rejected=1,
+                                  wall_seconds=0.5))
+    assert obs.rounds_total.value() == 1
+    assert obs.requests_sent_total.value() == 10
+    assert obs.responses_lost_total.value() == 2
+    assert obs.stale_responses_total.value() == 1
+    assert obs.round_wall_seconds.labels().count == 1
+
+
+def test_cell_finished_folds_campaign_counters():
+    obs = Observability()
+    obs.cell_finished(1.5, skipped_rounds=2, recovered_rounds=1)
+    obs.cell_finished(0.5)
+    assert obs.campaign_cells_total.value() == 2
+    assert obs.campaign_rounds_skipped_total.value() == 2
+    assert obs.campaign_rounds_recovered_total.value() == 1
+
+
+def test_observed_store_times_writes_without_changing_them():
+    obs = Observability()
+    store = ObservedStore(MemoryStore(), obs)
+    r = report()
+    store.append_report(r)
+    store.append_report(r)
+    store.checkpoint(None, {}, rounds_completed=0)
+    assert obs.store_ops.value("append_report") == 2
+    assert obs.store_ops.value("checkpoint") == 1
+    assert obs.store_op_seconds.labels("append_report").count == 2
+    # The wrapped backend received the writes unmodified.
+    assert [row["device_id"] for row in store.inner.device_history("dev")] \
+        == ["dev", "dev"]
+    assert store.device_history("dev") == store.inner.device_history("dev")
+
+
+def test_slo_violations_are_counted_per_rule():
+    fired = []
+    obs = Observability(slo_rules=[LostBudgetRule(0)],
+                        on_violation=[fired.append])
+    sink = obs.health_sink()
+    assert sink is not None
+    sink.emit(report(DeviceStatus.NO_DATA))
+    assert obs.slo_violations_total.value("lost_budget") == 1
+    assert len(fired) == 1
+    assert obs.violations == [fired[0]]
+
+
+def test_no_rules_means_no_sink():
+    obs = Observability()
+    assert obs.health_sink() is None
+    assert obs.violations == []
+
+
+def test_attach_transport_is_idempotent():
+    class _Network:
+        def __init__(self):
+            self.on_packet_admitted = []
+            self.on_packet_settled = []
+
+    class _Transport:
+        def __init__(self, network, inner=None):
+            self.network = network
+            if inner is not None:
+                self.inner = inner
+
+    obs = Observability()
+    network = _Network()
+    transport = _Transport(network)
+    obs.attach_transport(transport)
+    obs.attach_transport(transport)  # same network: not double-hooked
+    obs.attach_transport(_Transport(None, inner=transport))  # via .inner
+    assert len(network.on_packet_admitted) == 1
+    assert len(network.on_packet_settled) == 1
+    network.on_packet_admitted[0]("packet")
+    network.on_packet_settled[0]("packet", "delivered")
+    network.on_packet_settled[0]("packet", "dropped")
+    assert obs.packets_admitted_total.value() == 1
+    assert obs.packets_settled_total.value("delivered") == 1
+    assert obs.packets_settled_total.value("dropped") == 1
+
+
+def test_serve_returns_one_server_until_closed():
+    obs = Observability()
+    server = obs.serve()
+    try:
+        assert obs.serve() is server
+    finally:
+        obs.close()
+    second = obs.serve()  # a closed server is replaced
+    try:
+        assert second is not server
+    finally:
+        obs.close()
+
+
+def test_null_observability_is_inert():
+    null = NullObservability()
+    assert not null.enabled
+    assert not NULL_OBSERVABILITY.enabled
+    null.bind_engine(None)
+    null.attach_transport(None)
+    store = MemoryStore()
+    assert null.wrap_store(store) is store
+    assert null.health_sink() is None
+    assert null.violations == []
+    with null.trace_round(1) as span:
+        assert span is None
+    with null.trace_shard(None, 0) as span:
+        assert span is None
+    null.record_device_verify(None, "dev", "healthy")
+    null.report_committed(report())
+    null.round_finished(RoundStats())
+    null.cell_finished(0.0)
+    assert null.render_metrics() == ""
+    assert null.write_trace("/nonexistent/never-written") == 0
+    null.close()
+    with pytest.raises(RuntimeError):
+        null.serve()
+
+
+def test_trace_devices_false_keeps_round_and_shard_spans_only():
+    obs = Observability(trace_devices=False)
+    with obs.trace_round(1) as round_span:
+        with obs.trace_shard(round_span, 0) as shard_span:
+            obs.record_device_verify(shard_span, "dev", "healthy")
+    kinds = [row["kind"] for row in obs.tracer.export_rows()]
+    assert kinds == ["round", "shard"]
