@@ -20,6 +20,7 @@ are byte-reproducible.
 from __future__ import annotations
 
 import json
+import os
 import time as _time
 from dataclasses import dataclass, field
 from typing import (
@@ -188,6 +189,10 @@ class CellResult:
     #: Wall-clock cost of running the cell; machine-dependent, so kept
     #: out of :meth:`to_row` (see the artifact's ``timing`` section).
     wall_seconds: float = 0.0
+    #: The cell's child :class:`repro.obs.Observability` (its private
+    #: tracer + registry), when the campaign ran observed; excluded
+    #: from :meth:`to_row` — reports are emitted from it separately.
+    obs: Optional["Observability"] = field(default=None, repr=False)
 
     @property
     def qoa(self) -> QoA:
@@ -239,15 +244,21 @@ def run_scenario(scenario: Scenario,
                  obs: Optional["Observability"] = None) -> CellResult:
     """Run one scenario cell end to end on a real provisioned fleet.
 
-    ``obs`` records the finished cell (count, wall time, skipped and
-    recovered rounds) on a :class:`repro.obs.Observability`.  The cell's
-    *internal* fleet is deliberately not instrumented: campaign cells
-    run concurrently and re-start round numbering per cell, so their
-    span paths would collide in one shared tracer; thread ``obs``
-    through :meth:`repro.fleet.Fleet.provision` directly to trace a
-    single deployment instead.
+    ``obs`` lights up the cell: the runner forks a **child**
+    observability (:meth:`repro.obs.Observability.for_cell`, named
+    after the scenario) and provisions the cell's fleet with it, so
+    every cell records into its own tracer and registry — concurrent
+    cells re-start round numbering per cell and would collide in one
+    shared tracer otherwise.  When the cell finishes, its metrics are
+    absorbed into the parent registry under a ``cell`` label
+    (``repro_cell_*`` families), the parent's campaign counters record
+    the cell (count, wall time, skipped/recovered rounds), and the
+    child rides home on :attr:`CellResult.obs` for per-cell reports.
     """
     started = _time.perf_counter()
+    cell_obs: Optional["Observability"] = None
+    if obs is not None and obs.enabled:
+        cell_obs = obs.for_cell(scenario.name)
     config = _build_config(scenario)
     profile = DeviceProfile.smartplus(application_size=256, config=config)
     engine = SimulationEngine()
@@ -263,7 +274,7 @@ def run_scenario(scenario: Scenario,
     fleet = Fleet.provision(
         profile, scenario.devices, master_secret=secret,
         transport=_transport_factory(scenario), engine=engine, store=store,
-        stagger=scenario.protocol != "on-demand")
+        stagger=scenario.protocol != "on-demand", obs=cell_obs)
     skipped = 0
     recovered = 0
     rounds: List[RoundStats] = []
@@ -299,8 +310,11 @@ def run_scenario(scenario: Scenario,
                             rounds=rounds, skipped_rounds=skipped,
                             recovered_rounds=recovered,
                             dropped_exchanges=dropped,
-                            wall_seconds=_time.perf_counter() - started)
+                            wall_seconds=_time.perf_counter() - started,
+                            obs=cell_obs)
         if obs is not None and obs.enabled:
+            if cell_obs is not None:
+                obs.absorb_cell(cell_obs)
             obs.cell_finished(result.wall_seconds,
                               skipped_rounds=result.skipped_rounds,
                               recovered_rounds=result.recovered_rounds)
@@ -368,3 +382,50 @@ class CampaignRunner:
             json.dump(document, handle, sort_keys=True, indent=2)
             handle.write("\n")
         return document
+
+    def write_reports(self, directory: str) -> Dict[str, List[str]]:
+        """Emit per-cell observability reports plus a fleet-level rollup.
+
+        For every cell that ran with a child observability
+        (:attr:`CellResult.obs`), writes ``<cell>.report.html`` (the
+        flame/timeline view) and ``<cell>.summary.json`` (the
+        byte-stable trace summary) into ``directory``, then
+        ``rollup.json`` / ``rollup.html`` aggregating all cells.
+        Returns the written paths per kind.  Requires :meth:`run` to
+        have completed with an observed campaign; raises otherwise.
+        """
+        from repro.obs.report import (
+            ObsReport,
+            render_rollup_html,
+            rollup_summaries,
+        )
+        observed = [result for result in self.results
+                    if result.obs is not None]
+        if not observed:
+            raise ValueError(
+                "no cell observability to report on: run the campaign "
+                "with CampaignRunner(..., obs=Observability()) first")
+        os.makedirs(directory, exist_ok=True)
+        written: Dict[str, List[str]] = {"html": [], "json": []}
+        summaries: Dict[str, Dict[str, object]] = {}
+        for result in observed:
+            cell = result.obs.cell or result.scenario.name
+            report = ObsReport.from_observability(result.obs, title=cell)
+            safe = cell.replace("/", "_").replace(" ", "_")
+            paths = report.write(
+                html_path=os.path.join(directory, f"{safe}.report.html"),
+                json_path=os.path.join(directory, f"{safe}.summary.json"))
+            written["html"].append(paths["html"])
+            written["json"].append(paths["json"])
+            summaries[cell] = report.summary
+        rollup = rollup_summaries(summaries)
+        rollup_json = os.path.join(directory, "rollup.json")
+        with open(rollup_json, "w", encoding="utf-8") as handle:
+            json.dump(rollup, handle, sort_keys=True, indent=2)
+            handle.write("\n")
+        rollup_html = os.path.join(directory, "rollup.html")
+        with open(rollup_html, "w", encoding="utf-8") as handle:
+            handle.write(render_rollup_html(rollup, title=self.name))
+        written["json"].append(rollup_json)
+        written["html"].append(rollup_html)
+        return written

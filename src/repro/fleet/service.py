@@ -610,9 +610,11 @@ class FleetVerifier(BaseVerifier):
                         shard_reports = [_verify_observed(device_id)
                                          for device_id in shard]
                     if shard_span is not None:
-                        shard_span.attrs["received"] = sum(
+                        received = sum(
                             1 for device_id in shard
                             if responses.get(device_id) is not None)
+                        shard_span.attrs["received"] = received
+                        shard_span.attrs["lost"] = len(shard) - received
                 elif pool is not None and len(shard) > 1:
                     loop = asyncio.get_running_loop()
                     shard_reports = list(await asyncio.gather(*[

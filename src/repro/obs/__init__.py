@@ -1,35 +1,60 @@
 """``repro.obs`` — live observability for fleet attestation.
 
 The ROADMAP item "make fleet health a service, not a return value",
-delivered as three cooperating pieces:
+delivered as cooperating pieces:
 
 * :mod:`repro.obs.metrics` — a dependency-free metrics registry
   (:class:`Counter` / :class:`Gauge` / :class:`Histogram` with labels
-  and fixed buckets) rendered in the Prometheus text format and served
-  over a stdlib HTTP endpoint (:mod:`repro.obs.server`);
+  and fixed buckets, plus sliding-window counters and exponential-
+  decay gauges for "recent" health, and bucket-derived quantile
+  estimation) rendered in the Prometheus text format and served over a
+  stdlib HTTP endpoint (:mod:`repro.obs.server`);
 * :mod:`repro.obs.tracing` — span traces of every collection round
   (``round`` → ``shard`` → ``device_verify``) with ids *derived* from
   their coordinates, so identically-seeded runs export byte-identical
   JSONL;
 * :mod:`repro.obs.slo` — :class:`StreamingHealthSink` evaluates SLO
   rules as reports stream through the ordinary sink fanout, firing
-  violation events mid-round instead of post-hoc.
+  violation events mid-round instead of post-hoc;
+* :mod:`repro.obs.report` — the analysis layer: rebuilds the span tree
+  into per-round critical paths, shard skew and verify breakdowns,
+  rendered as a self-contained HTML flame/timeline plus a
+  byte-stable JSON summary (:class:`ObsReport`);
+* :mod:`repro.obs.export` — :class:`RemoteWriteExporter` pushes
+  exposition + SLO snapshots to an HTTP endpoint at round edges, for
+  deployments nobody can scrape.
 
 One :class:`Observability` object threads through
-``Fleet.provision(obs=...)`` and lights up the whole stack; the
+``Fleet.provision(obs=...)`` and lights up the whole stack —
+:meth:`Observability.for_cell` forks per-campaign-cell children whose
+metrics aggregate back under a ``cell`` label; the
 :data:`NULL_OBSERVABILITY` default keeps every instrumented path at
 historical cost (pinned by ``benchmarks/test_obs_overhead.py``).
 See ``MONITORING.md`` for the metric catalog and scrape examples.
 """
 
+from repro.obs.export import RemoteWriteExporter
 from repro.obs.metrics import (
     DEFAULT_LATENCY_BUCKETS,
     DEFAULT_ROUND_BUCKETS,
     MetricError,
     MetricsRegistry,
 )
+from repro.obs.report import (
+    MetricFamily,
+    ObsReport,
+    build_summary,
+    histogram_quantiles,
+    load_trace,
+    parse_exposition,
+    render_html,
+    render_rollup_html,
+    rollup_summaries,
+)
 from repro.obs.server import MetricsServer
 from repro.obs.service import (
+    DEFAULT_RECENT_WINDOW,
+    DEFAULT_SUMMARY_QUANTILES,
     NULL_OBSERVABILITY,
     NullObservability,
     Observability,
@@ -44,26 +69,44 @@ from repro.obs.slo import (
     SloViolation,
     StreamingHealthSink,
 )
-from repro.obs.tracing import Span, SpanTracer, derive_span_id
+from repro.obs.tracing import (
+    Span,
+    SpanTracer,
+    derive_child_seed,
+    derive_span_id,
+)
 
 __all__ = [
     "AttestationWindowRule",
     "CoverageRule",
     "DEFAULT_LATENCY_BUCKETS",
+    "DEFAULT_RECENT_WINDOW",
     "DEFAULT_ROUND_BUCKETS",
+    "DEFAULT_SUMMARY_QUANTILES",
     "FreshnessRule",
     "LostBudgetRule",
     "MetricError",
+    "MetricFamily",
     "MetricsRegistry",
     "MetricsServer",
     "NULL_OBSERVABILITY",
     "NullObservability",
+    "ObsReport",
     "Observability",
     "ObservedStore",
+    "RemoteWriteExporter",
     "SloRule",
     "SloViolation",
     "Span",
     "SpanTracer",
     "StreamingHealthSink",
+    "build_summary",
+    "derive_child_seed",
     "derive_span_id",
+    "histogram_quantiles",
+    "load_trace",
+    "parse_exposition",
+    "render_html",
+    "render_rollup_html",
+    "rollup_summaries",
 ]

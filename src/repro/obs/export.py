@@ -1,0 +1,255 @@
+"""Push-based remote write: metrics for deployments nobody scrapes.
+
+The pull endpoint (:mod:`repro.obs.server`) assumes a scraper can
+reach the process; fleet verifiers behind NAT, in batch jobs, or in CI
+have no such luxury.  :class:`RemoteWriteExporter` inverts the flow:
+attached to an :class:`~repro.obs.Observability`, it snapshots the
+exposition and current SLO violations at every **round edge** and
+POSTs them (JSON) to a configurable endpoint from its own worker
+thread.
+
+The design center is *the exporter must never hurt the round*:
+
+* the round-edge hook only renders a snapshot and appends it to a
+  **bounded** buffer — no I/O, no blocking, and ``RoundStats`` is read,
+  never touched;
+* the worker thread drains the buffer with per-snapshot retries and
+  exponential backoff; when the endpoint is down the buffer fills to
+  ``max_buffer`` and then drops the *oldest* snapshots (newest health
+  wins), each drop counted;
+* the exporter meters itself into the same registry
+  (``repro_remote_write_pushes_total{outcome=...}``, retries, drops,
+  buffered gauge), so the monitoring pipeline reports on its own
+  delivery health.
+
+Tests inject ``post=`` (any callable taking the payload dict) and call
+:meth:`RemoteWriteExporter.flush` for deterministic draining; the
+default transport is a stdlib ``urllib`` POST with a request timeout.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+import urllib.request
+from collections import deque
+from typing import Callable, Deque, Dict, Optional
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Snapshots a silent endpoint can strand in memory before drops start.
+DEFAULT_MAX_BUFFER = 64
+
+
+class RemoteWriteExporter:
+    """POST exposition + SLO snapshots to one endpoint, round by round.
+
+    Parameters:
+
+    * ``endpoint`` — URL receiving the JSON payloads;
+    * ``registry`` — where the exporter's self-metrics register
+      (defaults to a private registry, so standalone use still meters);
+    * ``max_buffer`` — bound on queued snapshots; beyond it the oldest
+      is dropped and counted;
+    * ``max_retries`` / ``backoff`` / ``backoff_cap`` — per-snapshot
+      retry schedule (``backoff`` doubles per attempt up to the cap);
+    * ``timeout`` — per-request transport timeout (seconds);
+    * ``post`` — injectable transport: a callable taking the payload
+      dict, raising on failure.  Tests use this; the default POSTs
+      JSON with ``urllib``.
+
+    Attach to a live stack with :meth:`attach` (or let
+    :meth:`Observability.remote_write <repro.obs.Observability.
+    remote_write>` do both steps).
+    """
+
+    def __init__(self, endpoint: str,
+                 registry: Optional[MetricsRegistry] = None,
+                 max_buffer: int = DEFAULT_MAX_BUFFER,
+                 max_retries: int = 3,
+                 backoff: float = 0.25,
+                 backoff_cap: float = 4.0,
+                 timeout: float = 2.0,
+                 post: Optional[Callable[[Dict[str, object]], None]]
+                 = None,
+                 _sleep: Callable[[float], None] = time.sleep) -> None:
+        if max_buffer < 1:
+            raise ValueError("max_buffer must be at least 1")
+        self.endpoint = endpoint
+        self.max_buffer = max_buffer
+        self.max_retries = max_retries
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.timeout = timeout
+        self._post = post if post is not None else self._http_post
+        self._sleep = _sleep
+        registry = registry if registry is not None else MetricsRegistry()
+        self.registry = registry
+        pushes = registry.counter(
+            "repro_remote_write_pushes_total",
+            "Remote-write snapshot pushes, by outcome.",
+            labels=("outcome",))
+        self._push_ok = pushes.labels("ok")
+        self._push_error = pushes.labels("error")
+        self.pushes_total = pushes
+        self.retries_total = registry.counter(
+            "repro_remote_write_retries_total",
+            "Remote-write push attempts retried after a failure.")
+        self.dropped_total = registry.counter(
+            "repro_remote_write_dropped_total",
+            "Remote-write snapshots dropped because the buffer was full.")
+        self.buffered = registry.gauge(
+            "repro_remote_write_buffered",
+            "Remote-write snapshots currently waiting in the buffer.")
+        self._cond = threading.Condition()
+        self._buffer: Deque[Dict[str, object]] = deque()
+        self._inflight = 0
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._drain, name="remote-write", daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (round edge — must stay cheap and non-blocking)
+    # ------------------------------------------------------------------
+    def enqueue(self, payload: Dict[str, object]) -> bool:
+        """Queue one snapshot; returns False if it (or an older one
+        making room for it) was dropped against the buffer bound."""
+        with self._cond:
+            if self._closed:
+                self.dropped_total.inc()
+                return False
+            dropped = False
+            while len(self._buffer) >= self.max_buffer:
+                self._buffer.popleft()
+                self.dropped_total.inc()
+                dropped = True
+            self._buffer.append(payload)
+            self.buffered.set(len(self._buffer))
+            self._cond.notify_all()
+            return not dropped
+
+    def attach(self, obs) -> "RemoteWriteExporter":
+        """Hook this exporter to an ``Observability``'s round edge.
+
+        Every finished round enqueues ``{"round", "stats", "metrics",
+        "slo"}`` — exposition text plus the SLO violation rows so far.
+        The listener reads the stats, renders, and appends; it performs
+        no I/O on the round's thread.
+        """
+
+        def _on_round(stats) -> None:
+            sink = obs.health_sink()
+            self.enqueue({
+                "round": int(obs.rounds_total.value()),
+                "stats": {
+                    "requests_sent": stats.requests_sent,
+                    "responses_lost": stats.responses_lost,
+                    "wall_seconds": stats.wall_seconds,
+                },
+                "metrics": obs.render_metrics(),
+                "slo": sink.violation_rows() if sink is not None else [],
+            })
+
+        obs.add_round_listener(_on_round)
+        return self
+
+    # ------------------------------------------------------------------
+    # Consumer side (worker thread)
+    # ------------------------------------------------------------------
+    def _drain(self) -> None:
+        while True:
+            with self._cond:
+                while not self._buffer and not self._closed:
+                    self._cond.wait()
+                if not self._buffer:
+                    return  # closed and drained
+                payload = self._buffer.popleft()
+                self.buffered.set(len(self._buffer))
+                self._inflight += 1
+            try:
+                self._push(payload)
+            finally:
+                with self._cond:
+                    self._inflight -= 1
+                    self._cond.notify_all()
+
+    def _push(self, payload: Dict[str, object]) -> None:
+        delay = self.backoff
+        for attempt in range(self.max_retries + 1):
+            try:
+                self._post(payload)
+            except Exception:
+                if attempt == self.max_retries:
+                    self._push_error.inc()
+                    return
+                self.retries_total.inc()
+                self._sleep(min(delay, self.backoff_cap))
+                delay *= 2
+            else:
+                self._push_ok.inc()
+                return
+
+    def _http_post(self, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        request = urllib.request.Request(
+            self.endpoint, data=body,
+            headers={"Content-Type": "application/json"}, method="POST")
+        with urllib.request.urlopen(request,
+                                    timeout=self.timeout) as response:
+            if response.status >= 400:
+                raise urllib.error.HTTPError(
+                    self.endpoint, response.status, "remote write refused",
+                    response.headers, None)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def flush(self, timeout: float = 5.0) -> bool:
+        """Wait for the buffer (and any in-flight push) to drain.
+
+        Returns True once everything queued has been attempted (sent
+        or given up on), False if ``timeout`` expired first.
+        """
+        deadline = time.monotonic() + timeout
+        with self._cond:
+            while self._buffer or self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return False
+                self._cond.wait(remaining)
+        return True
+
+    @property
+    def pending(self) -> int:
+        """Snapshots queued or in flight right now."""
+        with self._cond:
+            return len(self._buffer) + self._inflight
+
+    def close(self, timeout: float = 5.0, drain: bool = True) -> None:
+        """Stop the worker (idempotent).
+
+        With ``drain`` (the default) queued snapshots are attempted
+        before the worker exits; without it the buffer is discarded
+        (each discard counted as a drop).
+        """
+        with self._cond:
+            if self._closed:
+                self._cond.notify_all()
+            else:
+                self._closed = True
+                if not drain:
+                    while self._buffer:
+                        self._buffer.popleft()
+                        self.dropped_total.inc()
+                    self.buffered.set(0)
+                self._cond.notify_all()
+        self._thread.join(timeout=timeout)
+
+    def __enter__(self) -> "RemoteWriteExporter":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()

@@ -12,6 +12,14 @@ scraping three paths:
 
 Binding port 0 picks a free ephemeral port — the test-suite default —
 and :attr:`MetricsServer.url` reports where the scrape landed.
+
+The stdlib handler normally prints one access-log line per request to
+stderr; scrape-heavy runs (a 1 s Prometheus interval against a
+benchmark) would drown real output in it, so the handler is silent by
+default.  Pass ``log=callable`` to route the formatted access-log and
+error lines somewhere deliberate instead (a list's ``append``, a
+logger method); the callback runs on the scrape's handler thread and
+must not raise.
 """
 
 from __future__ import annotations
@@ -19,7 +27,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.slo import StreamingHealthSink
@@ -32,15 +40,21 @@ class MetricsServer:
     """Serve one registry (and optional SLO sink) over HTTP.
 
     The server starts on construction and runs on a daemon thread;
-    :meth:`close` shuts it down idempotently.  Also usable as a
-    context manager.
+    :meth:`close` shuts it down idempotently — it is thread-safe and
+    safe to call while scrapes are in flight (in-flight handlers run
+    on daemon threads and finish or die with their sockets; the
+    listening socket closes after the serve loop has stopped, so no
+    new scrape can land half-accepted).  Also usable as a context
+    manager.
     """
 
     def __init__(self, registry: MetricsRegistry,
                  host: str = "127.0.0.1", port: int = 0,
-                 health: Optional[StreamingHealthSink] = None) -> None:
+                 health: Optional[StreamingHealthSink] = None,
+                 log: Optional[Callable[[str], None]] = None) -> None:
         self.registry = registry
         self.health = health
+        self.log = log
         server = self
 
         class _Handler(BaseHTTPRequestHandler):
@@ -68,17 +82,33 @@ class MetricsServer:
                 self.end_headers()
                 self.wfile.write(body)
 
-            def log_message(self, *_args) -> None:
-                pass  # scrapes must not spam the deployment's stdout
+            def log_message(self, format: str, *args) -> None:
+                # Never the stdlib default (stderr spam); the optional
+                # callback gets the formatted line instead.
+                if server.log is not None:
+                    server.log(format % args)
 
-        self._httpd = ThreadingHTTPServer((host, port), _Handler)
-        self._httpd.daemon_threads = True
+        class _Server(ThreadingHTTPServer):
+            daemon_threads = True
+
+            def handle_error(self, request, client_address) -> None:
+                # A scraper hanging up mid-reply (or a scrape racing
+                # close()) raises in the handler thread; the stdlib
+                # would print a traceback to stderr.  Route it through
+                # the same callback, or swallow it.
+                if server.log is not None:
+                    import sys
+                    exc = sys.exc_info()[1]
+                    server.log(f"error serving {client_address}: {exc!r}")
+
+        self._httpd = _Server((host, port), _Handler)
         self.host, self.port = self._httpd.server_address[:2]
         self._thread = threading.Thread(
             target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
             name=f"metrics-server:{self.port}", daemon=True)
         self._thread.start()
         self.closed = False
+        self._close_lock = threading.Lock()
 
     @property
     def url(self) -> str:
@@ -90,14 +120,24 @@ class MetricsServer:
         """Full URL of the scrape path."""
         return f"{self.url}/metrics"
 
-    def close(self) -> None:
-        """Stop serving and release the socket (idempotent)."""
-        if self.closed:
-            return
-        self.closed = True
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop serving and release the socket (idempotent, thread-safe).
+
+        Exactly one caller performs the shutdown — concurrent and
+        repeated calls return immediately.  The serving thread is
+        joined with ``timeout`` so a wedged handler can never hang the
+        caller; the listening socket is closed only after the serve
+        loop has stopped, which makes closing while scrapes are in
+        flight safe (the regression test hammers ``/metrics`` from
+        several threads during ``close()``).
+        """
+        with self._close_lock:
+            if self.closed:
+                return
+            self.closed = True
         self._httpd.shutdown()
         self._httpd.server_close()
-        self._thread.join(timeout=5.0)
+        self._thread.join(timeout=timeout)
 
     def __enter__(self) -> "MetricsServer":
         return self

@@ -43,6 +43,22 @@ def derive_span_id(path: str, seed: int = 0) -> str:
                            key=key).hexdigest()
 
 
+def derive_child_seed(seed: int, label: str) -> int:
+    """A deterministic sub-seed forked from ``seed`` for one ``label``.
+
+    Used for per-cell campaign tracers: every cell gets its own tracer
+    (so concurrent cells cannot interleave in one span list) whose
+    seed is a pure function of the parent seed and the cell label —
+    same campaign, same per-cell traces, byte for byte.  The BLAKE2s
+    keying mirrors :func:`derive_span_id`, and the result stays within
+    the signed 64-bit range ``to_bytes`` accepts.
+    """
+    key = seed.to_bytes(8, "big", signed=True)
+    digest = hashlib.blake2s(label.encode("utf-8"), digest_size=8,
+                             key=key).digest()
+    return int.from_bytes(digest, "big", signed=True)
+
+
 class Span:
     """One open span: a path, virtual start/end stamps, and attributes.
 

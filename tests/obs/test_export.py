@@ -1,0 +1,241 @@
+"""The remote-write exporter: bounded buffer, retries, outage survival."""
+
+import http.server
+import json
+import threading
+import time
+
+import pytest
+
+from repro.fleet import DeviceProfile, Fleet
+from repro.obs import Observability, RemoteWriteExporter
+
+
+class _Collector:
+    """An injectable ``post=`` that records payloads (thread-safe)."""
+
+    def __init__(self, fail_first=0, outage=False):
+        self.fail_first = fail_first
+        self.outage = outage
+        self.payloads = []
+        self.attempts = 0
+        self._lock = threading.Lock()
+
+    def __call__(self, payload):
+        with self._lock:
+            self.attempts += 1
+            if self.outage or self.attempts <= self.fail_first:
+                raise ConnectionError("endpoint down")
+            self.payloads.append(payload)
+
+
+def _exporter(post, **kwargs):
+    kwargs.setdefault("_sleep", lambda _seconds: None)
+    return RemoteWriteExporter("http://sink.invalid/write", post=post,
+                               **kwargs)
+
+
+def test_happy_path_delivers_in_order():
+    collector = _Collector()
+    with _exporter(collector) as exporter:
+        for index in range(5):
+            assert exporter.enqueue({"round": index})
+        assert exporter.flush()
+        assert exporter.pushes_total.value("ok") == 5
+        assert exporter.pushes_total.value("error") == 0
+        assert exporter.dropped_total.value() == 0
+    assert [p["round"] for p in collector.payloads] == list(range(5))
+
+
+def test_retry_then_success_counts_retries():
+    sleeps = []
+    collector = _Collector(fail_first=2)
+    exporter = _exporter(collector, backoff=0.25, backoff_cap=4.0,
+                         _sleep=sleeps.append)
+    with exporter:
+        exporter.enqueue({"round": 0})
+        assert exporter.flush()
+    assert collector.payloads == [{"round": 0}]
+    assert exporter.retries_total.value() == 2
+    assert exporter.pushes_total.value("ok") == 1
+    assert exporter.pushes_total.value("error") == 0
+    assert sleeps == [0.25, 0.5]  # doubling backoff
+
+
+def test_backoff_is_capped():
+    sleeps = []
+    collector = _Collector(outage=True)
+    exporter = _exporter(collector, max_retries=5, backoff=1.0,
+                         backoff_cap=2.0, _sleep=sleeps.append)
+    with exporter:
+        exporter.enqueue({"round": 0})
+        assert exporter.flush()
+    assert sleeps == [1.0, 2.0, 2.0, 2.0, 2.0]
+    assert exporter.pushes_total.value("error") == 1
+
+
+def test_outage_fills_the_buffer_and_drops_the_oldest():
+    # A permanently-down endpoint with retries disabled: the worker
+    # burns through pushes as fast as we enqueue, so freeze it by
+    # holding the condition via a blocking first post... simpler: use
+    # max_retries=0 and a tiny buffer, then verify accounting.
+    collector = _Collector(outage=True)
+    exporter = _exporter(collector, max_buffer=4, max_retries=0)
+    with exporter:
+        for index in range(50):
+            exporter.enqueue({"round": index})
+        assert exporter.flush(timeout=10.0)
+        pushed = exporter.pushes_total.value("error")
+        dropped = exporter.dropped_total.value()
+        assert pushed + dropped == 50  # every snapshot accounted for
+        assert exporter.pushes_total.value("ok") == 0
+        assert exporter.pending == 0
+        assert exporter.buffered.value() == 0
+
+
+def test_enqueue_returns_false_on_drop():
+    blocker = threading.Event()
+
+    def stuck_post(_payload):
+        blocker.wait(timeout=10.0)
+
+    exporter = _exporter(stuck_post, max_buffer=2)
+    try:
+        exporter.enqueue({"round": 0})  # picked up by the worker, stuck
+        time.sleep(0.05)
+        assert exporter.enqueue({"round": 1})
+        assert exporter.enqueue({"round": 2})
+        assert not exporter.enqueue({"round": 3})  # round 1 evicted
+        assert exporter.dropped_total.value() == 1
+    finally:
+        blocker.set()
+        exporter.close()
+
+
+def test_close_without_drain_discards_and_counts():
+    blocker = threading.Event()
+
+    def stuck_post(_payload):
+        blocker.wait(timeout=10.0)
+
+    exporter = _exporter(stuck_post)
+    exporter.enqueue({"round": 0})
+    time.sleep(0.05)
+    exporter.enqueue({"round": 1})
+    exporter.enqueue({"round": 2})
+    blocker.set()
+    exporter.close(drain=False)
+    assert exporter.dropped_total.value() == 2
+    assert not exporter._thread.is_alive()
+    # Enqueue after close is a counted drop, not an error.
+    assert not exporter.enqueue({"round": 9})
+    assert exporter.dropped_total.value() == 3
+    exporter.close()  # idempotent
+
+
+def test_flush_times_out_while_a_push_is_stuck():
+    blocker = threading.Event()
+
+    def stuck_post(_payload):
+        blocker.wait(timeout=10.0)
+
+    exporter = _exporter(stuck_post)
+    try:
+        exporter.enqueue({"round": 0})
+        assert not exporter.flush(timeout=0.2)
+    finally:
+        blocker.set()
+        exporter.close()
+
+
+def test_invalid_buffer_bound():
+    with pytest.raises(ValueError):
+        RemoteWriteExporter("http://x.invalid/", max_buffer=0,
+                            post=lambda _p: None)
+
+
+# ----------------------------------------------------------------------
+# The acceptance case: an endpoint outage must not perturb the round.
+# ----------------------------------------------------------------------
+
+def _tiny_fleet(obs):
+    profile = DeviceProfile.smartplus(firmware=b"fw" + bytes(40),
+                                      measurement_interval=60.0,
+                                      collection_interval=600.0,
+                                      buffer_slots=16)
+    return Fleet.provision(profile, 8, master_secret=b"remote-write-test",
+                           obs=obs)
+
+
+def _run_rounds(obs):
+    fleet = _tiny_fleet(obs)
+    try:
+        fleet.run_until(600.0)
+        fleet.collect_all()
+        fleet.run_until(1200.0)
+        fleet.collect_all()
+    finally:
+        fleet.close()
+    return fleet
+
+
+def test_outage_does_not_perturb_round_stats():
+    # Baseline: no exporter at all.
+    baseline = Observability(seed=9)
+    _run_rounds(baseline)
+    baseline_rows = baseline.tracer.export_jsonl()
+    baseline_rounds = baseline.rounds_total.value()
+    baseline.close()
+
+    # Same seeded scenario with a permanently-down endpoint attached.
+    observed = Observability(seed=9)
+    exporter = observed.remote_write(
+        "http://sink.invalid/write", max_buffer=2, max_retries=1,
+        post=_Collector(outage=True), _sleep=lambda _s: None)
+    _run_rounds(observed)
+    exporter.flush(timeout=10.0)
+
+    # The rounds, counters, and the span trace are byte-identical to
+    # the unexported run; only the exporter's own meters moved.
+    assert observed.rounds_total.value() == baseline_rounds == 2
+    assert observed.tracer.export_jsonl() == baseline_rows
+    assert exporter.pushes_total.value("error") + \
+        exporter.dropped_total.value() == 2
+    assert exporter.pushes_total.value("ok") == 0
+    observed.close()  # closes the exporter too
+    assert not exporter._thread.is_alive()
+
+
+def test_round_edge_payloads_reach_a_real_http_endpoint():
+    received = []
+
+    class _Handler(http.server.BaseHTTPRequestHandler):
+        def do_POST(self):
+            length = int(self.headers["Content-Length"])
+            received.append(json.loads(self.rfile.read(length)))
+            self.send_response(200)
+            self.end_headers()
+
+        def log_message(self, *_args):
+            pass
+
+    server = http.server.ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        endpoint = f"http://127.0.0.1:{server.server_address[1]}/write"
+        obs = Observability(seed=3)
+        exporter = obs.remote_write(endpoint)  # the default urllib POST
+        _run_rounds(obs)
+        assert exporter.flush(timeout=10.0)
+        obs.close()
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=5.0)
+    assert [p["round"] for p in received] == [1, 2]
+    for payload in received:
+        assert payload["stats"]["requests_sent"] == 8
+        assert "repro_rounds_total" in payload["metrics"]
+        assert payload["slo"] == []
+    assert exporter.pushes_total.value("ok") == 2

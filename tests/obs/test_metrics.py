@@ -1,5 +1,7 @@
 """The metrics registry: instruments, labels, and the text exposition."""
 
+import math
+
 import pytest
 
 from repro.obs import MetricError, MetricsRegistry
@@ -129,3 +131,178 @@ def test_render_is_deterministic_across_registries():
 
 def test_empty_registry_renders_empty():
     assert MetricsRegistry().render() == ""
+
+
+# ----------------------------------------------------------------------
+# v2: quantiles, summaries, windowed/decayed instruments, absorb
+# ----------------------------------------------------------------------
+
+class _FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+
+def test_histogram_value_raises_metric_error():
+    hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+    hist.observe(0.5)
+    with pytest.raises(MetricError, match="histogram"):
+        hist.value()
+    # The explicit reads remain available.
+    assert hist.labels().sum == 0.5
+    assert hist.labels().count == 1
+
+
+def test_quantile_on_known_distribution_within_bucket_error():
+    # 100 uniform observations 0.5, 1.5, ..., 99.5 against decade-ish
+    # bucket boundaries: every estimate must land inside its bucket
+    # bound, and the bound must contain the true quantile.
+    boundaries = tuple(float(b) for b in range(10, 101, 10))
+    hist = MetricsRegistry().histogram("u", buckets=boundaries)
+    values = [i + 0.5 for i in range(100)]
+    for value in values:
+        hist.observe(value)
+    child = hist.labels()
+    for q in (0.1, 0.25, 0.5, 0.9, 0.99):
+        # The q-quantile of n observations is the ceil(q*n)-th smallest
+        # (the rank convention the bucket search uses).
+        true = sorted(values)[max(math.ceil(q * 100) - 1, 0)]
+        lower, upper = child.quantile_bounds(q)
+        estimate = child.quantile(q)
+        assert lower <= estimate <= upper
+        assert lower <= true <= upper, (q, lower, true, upper)
+        # Error is bounded by the bucket width (10 here).
+        assert abs(estimate - true) <= (upper - lower)
+
+
+def test_quantile_interpolates_within_the_bucket():
+    hist = MetricsRegistry().histogram("h", buckets=(0.0, 10.0))
+    for _ in range(10):
+        hist.observe(5.0)  # all ten land in (0, 10]
+    # Median rank 5/10 → halfway through the (0, 10] bucket.
+    assert hist.quantile(0.5) == pytest.approx(5.0)
+
+
+def test_quantile_overflow_clamps_to_last_finite_boundary():
+    hist = MetricsRegistry().histogram("h", buckets=(1.0, 2.0))
+    hist.observe(100.0)
+    assert hist.quantile(0.5) == 2.0
+    assert hist.labels().quantile_bounds(0.5) == (2.0, float("inf"))
+
+
+def test_quantile_empty_and_invalid():
+    hist = MetricsRegistry().histogram("h", buckets=(1.0,))
+    assert hist.quantile(0.5) is None
+    assert hist.labels().quantile_bounds(0.5) is None
+    hist.observe(0.5)
+    with pytest.raises(MetricError):
+        hist.quantile(1.5)
+    gauge = MetricsRegistry().gauge("g")
+    with pytest.raises(MetricError):
+        gauge.quantile(0.5)
+
+
+def test_summary_lines_render_for_nonempty_series_only():
+    registry = MetricsRegistry(summary_quantiles=(0.5, 0.99))
+    hist = registry.histogram("lat", labels=("shard",), buckets=(1.0, 2.0))
+    hist.labels("0").observe(0.5)
+    hist.labels("1")  # touched but empty: no summary sample
+    text = registry.render()
+    assert "# TYPE lat_summary gauge" in text
+    assert 'lat_summary{shard="0",quantile="0.5"}' in text
+    assert 'lat_summary{shard="1"' not in text
+    # Without summary quantiles no summary family appears at all.
+    plain = MetricsRegistry()
+    plain.histogram("lat", buckets=(1.0,)).observe(0.5)
+    assert "_summary" not in plain.render()
+
+
+def test_summary_quantiles_validated():
+    with pytest.raises(MetricError):
+        MetricsRegistry(summary_quantiles=(1.5,))
+
+
+def test_window_counter_ages_out_of_the_window():
+    clock = _FakeClock()
+    registry = MetricsRegistry()
+    registry.bind_clock(clock)
+    recent = registry.window_counter("recent", window=10.0)
+    recent.inc(3)
+    clock.t = 5.0
+    recent.inc(2)
+    assert recent.value() == 5
+    clock.t = 10.0  # the t=0 entry is now exactly window-old: expired
+    assert recent.value() == 2
+    clock.t = 50.0
+    assert recent.value() == 0
+    # Renders as a gauge of the in-window amount.
+    assert "# TYPE recent gauge" in registry.render()
+    with pytest.raises(MetricError):
+        recent.inc(-1)
+
+
+def test_window_counter_rate():
+    clock = _FakeClock()
+    registry = MetricsRegistry()
+    registry.bind_clock(clock)
+    recent = registry.window_counter("r", window=10.0)
+    recent.inc(5)
+    assert recent.labels().rate() == pytest.approx(0.5)
+
+
+def test_decay_gauge_halves_per_half_life():
+    clock = _FakeClock()
+    registry = MetricsRegistry()
+    registry.bind_clock(clock)
+    activity = registry.decay_gauge("act", half_life=10.0)
+    activity.mark(8.0)
+    assert activity.value() == pytest.approx(8.0)
+    clock.t = 10.0
+    assert activity.value() == pytest.approx(4.0)
+    clock.t = 20.0
+    activity.mark(1.0)  # decays to 2, then adds 1
+    assert activity.value() == pytest.approx(3.0)
+    assert "# TYPE act gauge" in registry.render()
+
+
+def test_bind_clock_is_retroactive():
+    registry = MetricsRegistry()
+    recent = registry.window_counter("r", window=10.0)
+    recent.inc()  # stamped 0.0: no clock yet
+    clock = _FakeClock()
+    clock.t = 100.0
+    registry.bind_clock(clock)  # children created earlier see it too
+    assert recent.value() == 0  # the 0.0-stamped entry aged out
+
+
+def test_window_and_decay_validate_parameters():
+    registry = MetricsRegistry()
+    with pytest.raises(MetricError):
+        registry.window_counter("w", window=0.0)
+    with pytest.raises(MetricError):
+        registry.decay_gauge("d", half_life=-1.0)
+
+
+def test_absorb_merges_under_cell_label_with_rename():
+    parent = MetricsRegistry()
+    parent.counter("repro_rounds_total").inc(7)  # parent's own family
+    child = MetricsRegistry()
+    child.counter("repro_rounds_total").inc(2)
+    child.gauge("repro_devices").set(5)
+    hist = child.histogram("repro_lat", labels=("shard",), buckets=(1.0,))
+    hist.labels("0").observe(0.5)
+    hist.labels("0").observe(3.0)
+    parent.absorb(child, "cell", "a")
+    other = MetricsRegistry()
+    other.counter("repro_rounds_total").inc(4)
+    parent.absorb(other, "cell", "b")
+    text = parent.render()
+    assert "repro_rounds_total 7" in text  # parent family untouched
+    assert 'repro_cell_rounds_total{cell="a"} 2' in text
+    assert 'repro_cell_rounds_total{cell="b"} 4' in text
+    assert 'repro_cell_devices{cell="a"} 5' in text
+    assert 'repro_cell_lat_bucket{shard="0",cell="a",le="1"} 1' in text
+    assert 'repro_cell_lat_count{shard="0",cell="a"} 2' in text
+    assert 'repro_cell_lat_sum{shard="0",cell="a"} 3.5' in text

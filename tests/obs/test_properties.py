@@ -101,3 +101,111 @@ def test_mid_round_fire_is_never_retracted_by_the_boundary(stream,
         for report in reports:
             health.record(report)
         assert rule.violated_by(health)
+
+
+# ----------------------------------------------------------------------
+# Property: the exposition round-trips through the text-format parser
+# ----------------------------------------------------------------------
+#
+# ``repro.obs.report.parse_exposition`` is a minimal Prometheus
+# text-format reader; rendering any registry and parsing the text back
+# must recover every family (name, TYPE), every sample's labels —
+# escaping included — and every value exactly, with histogram bucket
+# series cumulative and monotone.
+
+from repro.obs import MetricsRegistry, parse_exposition
+
+_label_names = st.from_regex(r"[a-z][a-z0-9_]{0,6}", fullmatch=True)
+# Label values exercise the escapes (backslash, quote, newline) plus
+# the characters that would confuse a naive splitter.
+_label_values = st.text(
+    alphabet='abcXYZ0 9\\"\n{},=', min_size=0, max_size=12)
+# Help text: no leading/trailing blanks (the format cannot carry them).
+_help_text = st.text(alphabet='help textn\\"\n', min_size=0,
+                     max_size=20).map(lambda s: s.strip())
+_values = st.floats(min_value=-1e12, max_value=1e12, allow_nan=False,
+                    allow_infinity=False)
+_amounts = st.floats(min_value=0.0, max_value=1e9, allow_nan=False)
+
+_metric_spec = st.fixed_dictionaries({
+    "kind": st.sampled_from(["counter", "gauge", "histogram"]),
+    "help": _help_text,
+    "labels": st.lists(_label_names, min_size=0, max_size=2,
+                       unique=True),
+    "children": st.integers(min_value=1, max_value=3),
+})
+
+
+@settings(max_examples=60, deadline=None)
+@given(specs=st.lists(_metric_spec, min_size=1, max_size=4),
+       label_values=st.data())
+def test_exposition_round_trips_through_the_parser(specs, label_values):
+    registry = MetricsRegistry()
+    expected = []  # (family, kind, samples: {labels-tuple: value-ish})
+    for index, spec in enumerate(specs):
+        name = f"m{index}_family"
+        labels = tuple(spec["labels"])
+        if spec["kind"] == "counter":
+            metric = registry.counter(name, spec["help"], labels=labels)
+        elif spec["kind"] == "gauge":
+            metric = registry.gauge(name, spec["help"], labels=labels)
+        else:
+            metric = registry.histogram(name, spec["help"], labels=labels,
+                                        buckets=(0.1, 1.0, 10.0))
+        children = {}
+        for _ in range(spec["children"]):
+            key = tuple(
+                label_values.draw(_label_values, label="label value")
+                for _ in labels)
+            child = metric.labels(*key)
+            if spec["kind"] == "counter":
+                amount = label_values.draw(_amounts, label="amount")
+                child.inc(amount)
+                children[key] = child.value
+            elif spec["kind"] == "gauge":
+                value = label_values.draw(_values, label="value")
+                child.set(value)
+                children[key] = child.value
+            else:
+                child.observe(label_values.draw(_values, label="obs"))
+                children[key] = (child.sum, child.count,
+                                 tuple(child.counts))
+        expected.append((name, spec["kind"], spec["help"], labels,
+                         children))
+
+    families = parse_exposition(registry.render())
+
+    for name, kind, help_text, labels, children in expected:
+        family = families[name]
+        assert family.kind == kind
+        assert family.help == help_text  # HELP escaping round-trips
+        for key, want in children.items():
+            key_map = dict(zip(labels, (str(v) for v in key)))
+            if kind in ("counter", "gauge"):
+                matches = [s for s in family.samples
+                           if s.name == name and s.labels == key_map]
+                assert len(matches) == 1
+                assert matches[0].value == want
+            else:
+                want_sum, want_count, counts = want
+                buckets = sorted(
+                    (float("inf") if s.labels["le"] == "+Inf"
+                     else float(s.labels["le"]), s.value)
+                    for s in family.samples
+                    if s.name == f"{name}_bucket"
+                    and {k: v for k, v in s.labels.items() if k != "le"}
+                    == key_map)
+                # Cumulative and monotone, ending at the total count.
+                assert [b for b, _ in buckets] == [0.1, 1.0, 10.0,
+                                                   float("inf")]
+                cumulative = [c for _, c in buckets]
+                assert cumulative == sorted(cumulative)
+                assert cumulative[-1] == want_count
+                (count_sample,) = [s for s in family.samples
+                                   if s.name == f"{name}_count"
+                                   and s.labels == key_map]
+                assert count_sample.value == want_count
+                (sum_sample,) = [s for s in family.samples
+                                 if s.name == f"{name}_sum"
+                                 and s.labels == key_map]
+                assert sum_sample.value == want_sum

@@ -1,0 +1,237 @@
+"""The analysis layer: exposition parsing, trace summaries, reports."""
+
+import json
+
+import pytest
+
+from repro.experiments import obs_report as harness
+from repro.obs import (
+    MetricsRegistry,
+    Observability,
+    ObsReport,
+    build_summary,
+    histogram_quantiles,
+    load_trace,
+    parse_exposition,
+    render_html,
+    render_rollup_html,
+    rollup_summaries,
+)
+from repro.obs.report import ExpositionParseError, summary_json
+from repro.obs.tracing import SpanTracer
+
+
+# ----------------------------------------------------------------------
+# parse_exposition
+# ----------------------------------------------------------------------
+
+def test_parse_exposition_families_and_values():
+    text = (
+        "# HELP jobs_total Jobs processed.\n"
+        "# TYPE jobs_total counter\n"
+        "jobs_total 5\n"
+        "# TYPE temp gauge\n"
+        'temp{site="lab"} -3.5\n'
+        "untyped_thing 1\n")
+    families = parse_exposition(text)
+    assert families["jobs_total"].kind == "counter"
+    assert families["jobs_total"].help == "Jobs processed."
+    assert families["jobs_total"].samples[0].value == 5
+    (sample,) = families["temp"].samples
+    assert sample.labels == {"site": "lab"}
+    assert sample.value == -3.5
+    assert families["untyped_thing"].kind == "untyped"
+
+
+def test_parse_exposition_unescapes_label_values():
+    text = ('# TYPE c counter\n'
+            'c{path="a\\"b\\\\c\\nd",other="x,y={z}"} 1\n')
+    families = parse_exposition(text)
+    (sample,) = families["c"].samples
+    assert sample.labels["path"] == 'a"b\\c\nd'
+    assert sample.labels["other"] == "x,y={z}"
+
+
+def test_parse_exposition_folds_histogram_components():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", "Latency.", labels=("op",),
+                              buckets=(0.1, 1.0))
+    hist.labels("read").observe(0.05)
+    hist.labels("read").observe(0.5)
+    families = parse_exposition(registry.render())
+    family = families["lat"]
+    assert family.kind == "histogram"
+    names = {sample.name for sample in family.samples}
+    assert names == {"lat_bucket", "lat_sum", "lat_count"}
+    inf = [s for s in family.samples
+           if s.name == "lat_bucket" and s.labels["le"] == "+Inf"]
+    assert inf[0].value == 2
+
+
+def test_parse_exposition_inf_values_and_errors():
+    families = parse_exposition("# TYPE g gauge\ng +Inf\nh -Inf\n")
+    assert families["g"].samples[0].value == float("inf")
+    assert families["h"].samples[0].value == float("-inf")
+    with pytest.raises(ExpositionParseError):
+        parse_exposition("broken_line_without_value\n")
+    with pytest.raises(ExpositionParseError):
+        parse_exposition('c{unterminated="x 1\n')
+
+
+def test_histogram_quantiles_match_the_live_metric():
+    registry = MetricsRegistry()
+    hist = registry.histogram("lat", labels=("shard",),
+                              buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.2, 0.3, 5.0):
+        hist.labels("0").observe(value)
+    families = parse_exposition(registry.render())
+    (row,) = histogram_quantiles(families["lat"], quantiles=(0.5, 0.99))
+    assert row["labels"] == {"shard": "0"}
+    assert row["count"] == 4
+    assert row["quantiles"]["p50"] == pytest.approx(hist.quantile(0.5, "0"))
+    assert row["quantiles"]["p99"] == pytest.approx(
+        hist.quantile(0.99, "0"))
+
+
+# ----------------------------------------------------------------------
+# Trace summaries
+# ----------------------------------------------------------------------
+
+def _scripted_trace():
+    """Two workers; worker 1's shard 1 finishes last (critical path)."""
+    clock = harness._ScriptedClock()
+    tracer = SpanTracer(seed=5, clock=clock)
+    with tracer.trace_round(0, worker="0") as round_span:
+        with tracer.trace_shard(round_span, 0, devices=2) as shard:
+            clock.advance(1.0)
+            tracer.record_device_verify(shard, "dev-a", "healthy")
+            tracer.record_device_verify(shard, "dev-b", "infected")
+    with tracer.trace_round(0, worker="1") as round_span:
+        with tracer.trace_shard(round_span, 1, devices=1) as shard:
+            clock.advance(3.0)
+            tracer.record_device_verify(shard, "dev-c", "healthy")
+    return tracer.export_rows()
+
+
+def test_build_summary_reconstructs_the_tree():
+    summary = build_summary(_scripted_trace(), title="t")
+    (round_row,) = summary["rounds"]
+    assert round_row["round"] == 0
+    assert [w["worker"] for w in round_row["workers"]] == ["0", "1"]
+    assert round_row["devices"] == 3
+    assert round_row["statuses"] == {"healthy": 2, "infected": 1}
+    assert round_row["shard_count"] == 2
+    # Shard durations are 1.0 and 3.0 → skew 2.0.
+    assert round_row["shard_skew"] == pytest.approx(2.0)
+    assert summary["totals"] == {
+        "rounds": 1, "spans": len(_scripted_trace()),
+        "device_verifies": 3, "statuses": {"healthy": 2, "infected": 1}}
+
+
+def test_critical_path_follows_the_latest_finisher():
+    summary = build_summary(_scripted_trace(), title="t")
+    chain = summary["rounds"][0]["critical_path"]
+    assert [link["kind"] for link in chain] == ["round", "shard",
+                                                "device_verify"]
+    assert chain[0]["path"] == "round:0/worker:1"
+    assert chain[1]["path"] == "round:0/worker:1/shard:1"
+    assert chain[2]["path"].endswith("device:dev-c")
+    assert chain[2]["status"] == "healthy"
+
+
+def test_shard_attrs_surface_in_the_summary():
+    rows = harness.build_trace(devices=20, rounds=1, shards=2)
+    summary = build_summary(rows, title="t")
+    shards = [shard for worker in summary["rounds"][0]["workers"]
+              for shard in worker["shards"]]
+    assert len(shards) == 2
+    for shard in shards:
+        assert shard["devices"] == 10
+        assert shard["received"] + shard["lost"] == 10
+
+
+def test_summary_is_byte_identical_for_same_seed_traces():
+    one = harness.build_trace(devices=60, rounds=2, shards=3, seed=11)
+    two = harness.build_trace(devices=60, rounds=2, shards=3, seed=11)
+    assert summary_json(build_summary(one, title="x")) == \
+        summary_json(build_summary(two, title="x"))
+    # A different seed changes span ids but not the derived analysis,
+    # which depends only on paths/times/attrs.
+    other = harness.build_trace(devices=60, rounds=2, shards=3, seed=12)
+    assert summary_json(build_summary(other, title="x")) == \
+        summary_json(build_summary(one, title="x"))
+
+
+def test_metrics_section_appears_only_with_an_exposition():
+    rows = _scripted_trace()
+    assert "metrics" not in build_summary(rows)
+    exposition = harness.build_exposition(devices=40, shards=2)
+    summary = build_summary(rows, exposition=exposition)
+    assert summary["metrics"]["counters"]["repro_rounds_total"]["_"] == 2
+    latency = summary["metrics"]["verify_latency"]
+    assert {row["labels"]["shard"] for row in latency} == {"0", "1"}
+    for row in latency:
+        assert row["quantiles"]["p50"] is not None
+
+
+# ----------------------------------------------------------------------
+# Artifacts: files, HTML, rollups
+# ----------------------------------------------------------------------
+
+def test_obs_report_from_files_round_trip(tmp_path):
+    clock_rows = _scripted_trace()
+    trace_path = tmp_path / "trace.jsonl"
+    with open(trace_path, "w", encoding="utf-8") as handle:
+        for row in clock_rows:
+            handle.write(json.dumps(row, sort_keys=True) + "\n")
+    metrics_path = tmp_path / "metrics.prom"
+    metrics_path.write_text(harness.build_exposition(devices=10, shards=2),
+                            encoding="utf-8")
+    assert load_trace(str(trace_path)) == clock_rows
+    report = ObsReport.from_files(str(trace_path),
+                                  metrics_path=str(metrics_path),
+                                  title="from-files")
+    assert report.summary["totals"]["device_verifies"] == 3
+    assert "verify_latency" in report.summary["metrics"]
+    written = report.write(html_path=str(tmp_path / "r.html"),
+                           json_path=str(tmp_path / "r.json"))
+    assert json.loads((tmp_path / "r.json").read_text()) == report.summary
+    assert set(written) == {"html", "json"}
+
+
+def test_html_report_is_self_contained_and_embeds_the_summary():
+    rows = _scripted_trace()
+    summary = build_summary(rows, title="page <title>")
+    html = render_html(summary, rows=rows)
+    assert html.startswith("<!doctype html>")
+    assert "<svg" in html and "</svg>" in html
+    assert "critical path" in html
+    assert "page &lt;title&gt;" in html  # escaped
+    assert "http://" not in html.replace(
+        "http://www.w3.org/2000/svg", "")  # no external assets
+    embedded = html.split("id='obs-summary'>", 1)[1].split("</script>")[0]
+    assert json.loads(embedded) == summary
+
+
+def test_observability_report_facade():
+    obs = Observability(seed=3)
+    with obs.trace_round(0) as round_span:
+        with obs.trace_shard(round_span, 0) as shard:
+            obs.record_device_verify(shard, "dev-a", "healthy")
+    report = obs.report(title="facade")
+    assert report.summary["totals"]["device_verifies"] == 1
+    assert "metrics" in report.summary  # exposition included
+
+
+def test_rollup_aggregates_cells():
+    one = build_summary(harness.build_trace(devices=20, rounds=1,
+                                            shards=2), title="a")
+    two = build_summary(harness.build_trace(devices=40, rounds=2,
+                                            shards=2), title="b")
+    rollup = rollup_summaries({"a": one, "b": two})
+    assert set(rollup["cells"]) == {"a", "b"}
+    assert rollup["totals"]["rounds"] == 3
+    assert rollup["totals"]["device_verifies"] == 20 + 80
+    assert rollup["cells"]["b"]["max_shard_skew"] >= 0.0
+    html = render_rollup_html(rollup, title="campaign")
+    assert "Campaign rollup" in html and "<table>" in html

@@ -68,3 +68,76 @@ def test_close_is_idempotent_and_releases_the_socket():
     assert server.closed
     with pytest.raises(urllib.error.URLError):
         urllib.request.urlopen(url, timeout=0.5)
+
+
+def test_access_log_is_silent_by_default(capsys):
+    registry = MetricsRegistry()
+    registry.counter("c").inc()
+    with MetricsServer(registry) as server:
+        _get(server.metrics_url)
+        _get(server.url + "/healthz")
+    captured = capsys.readouterr()
+    assert captured.err == ""  # no BaseHTTPRequestHandler stderr spam
+
+
+def test_access_log_routes_to_the_callback():
+    lines = []
+    with MetricsServer(MetricsRegistry(), log=lines.append) as server:
+        _get(server.metrics_url)
+    assert any("/metrics" in line for line in lines)
+
+
+def test_close_while_scrapes_are_in_flight():
+    """Regression: hammer /metrics from several threads during close().
+
+    Every request must either succeed or fail with a socket/URL error —
+    never hang, never corrupt the server — and repeated/concurrent
+    close() calls must all return.
+    """
+    import threading
+
+    registry = MetricsRegistry()
+    registry.counter("busy_total").inc()
+    server = MetricsServer(registry)
+    url = server.metrics_url
+    stop = threading.Event()
+    outcomes = {"ok": 0, "refused": 0}
+    lock = threading.Lock()
+
+    def hammer():
+        while not stop.is_set():
+            try:
+                with urllib.request.urlopen(url, timeout=2) as response:
+                    assert response.status == 200
+                    response.read()
+                with lock:
+                    outcomes["ok"] += 1
+            except (urllib.error.URLError, ConnectionError, OSError):
+                with lock:
+                    outcomes["refused"] += 1
+
+    threads = [threading.Thread(target=hammer) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    # Let the hammering get going, then close mid-flight — twice, from
+    # two racing threads.
+    deadline = 200
+    while outcomes["ok"] == 0 and deadline > 0:
+        deadline -= 1
+        import time
+        time.sleep(0.005)
+    closers = [threading.Thread(target=server.close) for _ in range(2)]
+    for closer in closers:
+        closer.start()
+    for closer in closers:
+        closer.join(timeout=10)
+        assert not closer.is_alive(), "close() hung"
+    stop.set()
+    for thread in threads:
+        thread.join(timeout=10)
+        assert not thread.is_alive(), "a scraper hung"
+    assert server.closed
+    assert outcomes["ok"] > 0, "the hammer never got a scrape through"
+    # The socket really is released.
+    with pytest.raises((urllib.error.URLError, ConnectionError, OSError)):
+        urllib.request.urlopen(url, timeout=0.5)

@@ -158,3 +158,117 @@ def test_trace_devices_false_keeps_round_and_shard_spans_only():
             obs.record_device_verify(shard_span, "dev", "healthy")
     kinds = [row["kind"] for row in obs.tracer.export_rows()]
     assert kinds == ["round", "shard"]
+
+
+# ----------------------------------------------------------------------
+# v2: recent-health instruments, per-cell children, round listeners
+# ----------------------------------------------------------------------
+
+class _FakeEngine:
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_recent_instruments_track_the_window():
+    obs = Observability(recent_window=100.0)
+    engine = _FakeEngine()
+    obs.bind_engine(engine)
+    obs.report_committed(report())
+    obs.round_finished(RoundStats(requests_sent=5, responses_lost=2))
+    assert obs.reports_recent.value("healthy") == 1
+    assert obs.rounds_recent.value() == 1
+    assert obs.responses_lost_recent.value() == 2
+    assert obs.round_activity.value() == pytest.approx(1.0)
+    engine.now = 100.0  # one window / one half-life later
+    assert obs.reports_recent.value("healthy") == 0
+    assert obs.rounds_recent.value() == 0
+    assert obs.round_activity.value() == pytest.approx(0.5)
+    # Cumulative families are untouched by the aging.
+    assert obs.reports_total.value("healthy") == 1
+    assert obs.rounds_total.value() == 1
+
+
+def test_summary_lines_appear_in_the_service_exposition():
+    obs = Observability()
+    obs.device_verify_seconds.labels("0").observe(0.001)
+    text = obs.render_metrics()
+    assert "# TYPE repro_device_verify_seconds_summary gauge" in text
+    assert 'quantile="0.5"' in text
+
+
+def test_for_cell_children_are_deterministic_and_disjoint():
+    parent = Observability(seed=99)
+    a1 = parent.for_cell("a")
+    a2 = Observability(seed=99).for_cell("a")
+    b = parent.for_cell("b")
+    assert a1.tracer.seed == a2.tracer.seed  # same parent seed + label
+    assert a1.tracer.seed != b.tracer.seed
+    assert a1.tracer.seed != parent.tracer.seed
+    assert a1.cell == "a"
+    assert a1.registry is not parent.registry
+    assert a1.tracer is not parent.tracer
+    # Same path in two cells → different span ids.
+    with a1.trace_round(0) as span_a, b.trace_round(0) as span_b:
+        pass
+    row_a = a1.tracer.export_rows()[0]
+    row_b = b.tracer.export_rows()[0]
+    assert row_a["path"] == row_b["path"]
+    assert row_a["span_id"] != row_b["span_id"]
+
+
+def test_absorb_cell_lands_in_the_cell_namespace():
+    parent = Observability()
+    parent.rounds_total.inc(10)
+    child = parent.for_cell("c1")
+    child.rounds_total.inc(3)
+    child.report_committed(report())
+    parent.absorb_cell(child)
+    text = parent.render_metrics()
+    assert "repro_rounds_total 10" in text
+    assert 'repro_cell_rounds_total{cell="c1"} 3' in text
+    assert 'repro_cell_reports_total{status="healthy",cell="c1"} 1' in text
+
+
+def test_round_listeners_fire_after_counters():
+    obs = Observability()
+    seen = []
+    obs.add_round_listener(
+        lambda stats: seen.append((stats.requests_sent,
+                                   obs.rounds_total.value())))
+    stats = RoundStats(requests_sent=4)
+    obs.round_finished(stats)
+    assert seen == [(4, 1.0)]  # the counter was already folded in
+    # The listener never mutated the stats object.
+    assert stats.requests_sent == 4
+
+
+def test_remote_write_round_trip_through_the_service():
+    obs = Observability()
+    posted = []
+    exporter = obs.remote_write("http://unused.invalid/w",
+                                post=posted.append)
+    obs.round_finished(RoundStats(requests_sent=3, responses_lost=1,
+                                  wall_seconds=0.25))
+    assert exporter.flush(5.0)
+    (payload,) = posted
+    assert payload["round"] == 1
+    assert payload["stats"]["responses_lost"] == 1
+    assert "repro_rounds_total 1" in payload["metrics"]
+    assert payload["slo"] == []
+    # The exporter's self-metrics live in the service registry...
+    assert "repro_remote_write_pushes_total" in obs.render_metrics()
+    # ...and close() stops the exporter's worker.
+    obs.close()
+    assert not exporter._thread.is_alive()
+
+
+def test_null_observability_v2_surface():
+    null = NullObservability()
+    null.add_round_listener(lambda stats: None)
+    assert null.for_cell("x") is null
+    null.absorb_cell(null)
+    assert null.cell is None
+    with pytest.raises(RuntimeError):
+        null.remote_write("http://unused.invalid/")
+    with pytest.raises(RuntimeError):
+        null.report()
