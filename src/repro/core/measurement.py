@@ -12,10 +12,17 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
+from typing import List, Union
 
 from repro.arch.base import MeasurementOutput, encode_timestamp
 
 _HEADER = struct.Struct(">QHH")  # timestamp_us, digest_len, tag_len
+
+#: Anything the codec accepts as an encoded record: decoded fields are
+#: read-only :class:`memoryview` slices over the input buffer by
+#: default (zero-copy), which hash and compare equal to the ``bytes``
+#: they view, so digests stay usable as set members and MAC inputs.
+Buffer = Union[bytes, bytearray, memoryview]
 
 
 class MeasurementDecodeError(Exception):
@@ -45,17 +52,31 @@ class Measurement:
 
     def authenticated_payload(self) -> bytes:
         """The bytes the MAC covers: canonical timestamp followed by digest."""
-        return encode_timestamp(self.timestamp) + self.digest
+        # join() accepts buffer views, so a zero-copy digest works here too.
+        return b"".join((encode_timestamp(self.timestamp), self.digest))
+
+    def encode_parts(self) -> List[bytes]:
+        """The wire encoding as a writev-style list of buffers.
+
+        Callers assembling larger messages extend one flat parts list and
+        join once at the end instead of concatenating per record.
+        """
+        header = _HEADER.pack(int(round(self.timestamp * 1_000_000)),
+                              len(self.digest), len(self.tag))
+        return [header, self.digest, self.tag]
 
     def encode(self) -> bytes:
         """Serialize to the canonical wire format."""
-        header = _HEADER.pack(int(round(self.timestamp * 1_000_000)),
-                              len(self.digest), len(self.tag))
-        return header + self.digest + self.tag
+        return b"".join(self.encode_parts())
 
     @classmethod
-    def decode(cls, payload: bytes) -> "Measurement":
-        """Parse the canonical wire format back into a record."""
+    def decode(cls, payload: Buffer, *, copy: bool = False) -> "Measurement":
+        """Parse the canonical wire format back into a record.
+
+        With ``copy=False`` (the default) ``digest`` and ``tag`` are
+        read-only views into ``payload`` — no per-record copies.  Pass
+        ``copy=True`` when the record outlives the buffer it came from.
+        """
         if len(payload) < _HEADER.size:
             raise MeasurementDecodeError("measurement record truncated")
         timestamp_us, digest_len, tag_len = _HEADER.unpack_from(payload)
@@ -64,8 +85,11 @@ class Measurement:
             raise MeasurementDecodeError(
                 f"measurement record has {len(payload)} bytes, "
                 f"expected {expected}")
-        digest = payload[_HEADER.size:_HEADER.size + digest_len]
-        tag = payload[_HEADER.size + digest_len:]
+        view = memoryview(payload).toreadonly()
+        digest = view[_HEADER.size:_HEADER.size + digest_len]
+        tag = view[_HEADER.size + digest_len:]
+        if copy:
+            digest, tag = bytes(digest), bytes(tag)
         return cls(timestamp=timestamp_us / 1_000_000, digest=digest, tag=tag)
 
     @property

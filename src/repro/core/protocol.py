@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Union
 
 from repro.arch.base import encode_timestamp
-from repro.core.measurement import Measurement, MeasurementDecodeError
+from repro.core.measurement import Buffer, Measurement, MeasurementDecodeError
 
 _COLLECT_HEADER = struct.Struct(">BI")          # message type, k
 _ONDEMAND_HEADER = struct.Struct(">BIQH")       # type, k, t_req_us, tag length
@@ -78,31 +78,35 @@ class CollectRequest:
         return cls(k=k)
 
 
-def _encode_measurements(measurements: List[Measurement]) -> bytes:
-    parts = []
+def _measurement_parts(measurements: List[Measurement],
+                       parts: List[bytes]) -> List[bytes]:
+    """Append length-prefixed record buffers to a flat writev-style list."""
     for measurement in measurements:
-        record = measurement.encode()
-        parts.append(_RECORD_LENGTH.pack(len(record)) + record)
-    return b"".join(parts)
+        record = measurement.encode_parts()
+        parts.append(_RECORD_LENGTH.pack(sum(len(p) for p in record)))
+        parts.extend(record)
+    return parts
 
 
-def _decode_measurements(payload: bytes, count: int) -> List[Measurement]:
+def _decode_measurements(payload: Buffer, count: int, *,
+                         copy: bool = False) -> List[Measurement]:
     measurements: List[Measurement] = []
+    view = memoryview(payload).toreadonly()
     offset = 0
     for _ in range(count):
-        if offset + _RECORD_LENGTH.size > len(payload):
+        if offset + _RECORD_LENGTH.size > len(view):
             raise ProtocolDecodeError("truncated measurement list")
-        (length,) = _RECORD_LENGTH.unpack_from(payload, offset)
+        (length,) = _RECORD_LENGTH.unpack_from(view, offset)
         offset += _RECORD_LENGTH.size
-        if offset + length > len(payload):
+        if offset + length > len(view):
             raise ProtocolDecodeError("truncated measurement record")
-        record = payload[offset:offset + length]
+        record = view[offset:offset + length]
         offset += length
         try:
-            measurements.append(Measurement.decode(record))
+            measurements.append(Measurement.decode(record, copy=copy))
         except MeasurementDecodeError as exc:
             raise ProtocolDecodeError(str(exc)) from exc
-    if offset != len(payload):
+    if offset != len(view):
         raise ProtocolDecodeError("trailing bytes after measurement list")
     return measurements
 
@@ -113,22 +117,32 @@ class CollectResponse:
 
     measurements: List[Measurement] = field(default_factory=list)
 
-    def encode(self) -> bytes:
-        """Serialize to the wire format."""
+    def encode_parts(self) -> List[bytes]:
+        """The wire encoding as a writev-style list of buffers."""
         header = _RESPONSE_HEADER.pack(_TYPE_COLLECT_RESPONSE,
                                        len(self.measurements))
-        return header + _encode_measurements(self.measurements)
+        return _measurement_parts(self.measurements, [header])
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        return b"".join(self.encode_parts())
 
     @classmethod
-    def decode(cls, payload: bytes) -> "CollectResponse":
-        """Parse the wire format."""
+    def decode(cls, payload: Buffer, *,
+               copy: bool = False) -> "CollectResponse":
+        """Parse the wire format.
+
+        Decoded records view ``payload`` directly by default; pass
+        ``copy=True`` to materialize independent ``bytes`` fields when
+        the records must outlive the receive buffer.
+        """
         if len(payload) < _RESPONSE_HEADER.size:
             raise ProtocolDecodeError("malformed collect response")
         message_type, count = _RESPONSE_HEADER.unpack_from(payload)
         if message_type != _TYPE_COLLECT_RESPONSE:
             raise ProtocolDecodeError("not a collect response")
         measurements = _decode_measurements(
-            payload[_RESPONSE_HEADER.size:], count)
+            memoryview(payload)[_RESPONSE_HEADER.size:], count, copy=copy)
         return cls(measurements=measurements)
 
     @property
@@ -158,7 +172,7 @@ class OnDemandRequest:
         return header + self.tag
 
     @classmethod
-    def decode(cls, payload: bytes) -> "OnDemandRequest":
+    def decode(cls, payload: Buffer) -> "OnDemandRequest":
         """Parse the wire format."""
         if len(payload) < _ONDEMAND_HEADER.size:
             raise ProtocolDecodeError("malformed on-demand request")
@@ -168,7 +182,9 @@ class OnDemandRequest:
             raise ProtocolDecodeError("not an on-demand request")
         if k > MAX_K:
             raise ProtocolDecodeError(f"oversized k ({k} > {MAX_K})")
-        tag = payload[_ONDEMAND_HEADER.size:]
+        # Requests are tiny and the tag is retained for verification, so
+        # a copy is the right call here (views would pin the whole frame).
+        tag = bytes(memoryview(payload)[_ONDEMAND_HEADER.size:])
         if len(tag) != tag_length:
             raise ProtocolDecodeError("on-demand request tag length mismatch")
         return cls(request_time=time_us / 1_000_000, k=k, tag=tag)
@@ -185,17 +201,22 @@ class OnDemandResponse:
     fresh: Optional[Measurement]
     measurements: List[Measurement] = field(default_factory=list)
 
-    def encode(self) -> bytes:
-        """Serialize to the wire format."""
+    def encode_parts(self) -> List[bytes]:
+        """The wire encoding as a writev-style list of buffers."""
         records = ([self.fresh] if self.fresh is not None else []) + \
             list(self.measurements)
         header = _RESPONSE_HEADER.pack(_TYPE_ONDEMAND_RESPONSE, len(records))
         flag = b"\x01" if self.fresh is not None else b"\x00"
-        return header + flag + _encode_measurements(records)
+        return _measurement_parts(records, [header, flag])
+
+    def encode(self) -> bytes:
+        """Serialize to the wire format."""
+        return b"".join(self.encode_parts())
 
     @classmethod
-    def decode(cls, payload: bytes) -> "OnDemandResponse":
-        """Parse the wire format."""
+    def decode(cls, payload: Buffer, *,
+               copy: bool = False) -> "OnDemandResponse":
+        """Parse the wire format (records view ``payload`` unless ``copy``)."""
         minimum = _RESPONSE_HEADER.size + 1
         if len(payload) < minimum:
             raise ProtocolDecodeError("malformed on-demand response")
@@ -203,7 +224,8 @@ class OnDemandResponse:
         if message_type != _TYPE_ONDEMAND_RESPONSE:
             raise ProtocolDecodeError("not an on-demand response")
         has_fresh = payload[_RESPONSE_HEADER.size] == 1
-        records = _decode_measurements(payload[minimum:], count)
+        records = _decode_measurements(
+            memoryview(payload)[minimum:], count, copy=copy)
         if has_fresh:
             if not records:
                 raise ProtocolDecodeError("fresh measurement flagged but absent")
@@ -224,13 +246,13 @@ _RESPONSE_DECODERS = {
 }
 
 
-def decode_request(payload: bytes) -> AnyRequest:
+def decode_request(payload: Buffer) -> AnyRequest:
     """Decode a verifier-to-prover message by its type tag.
 
     Transports use this to dispatch incoming requests without knowing in
     advance whether a collection is plain or on-demand.
     """
-    if not payload:
+    if not len(payload):
         raise ProtocolDecodeError("empty request")
     try:
         decoder = _REQUEST_DECODERS[payload[0]]
@@ -240,13 +262,18 @@ def decode_request(payload: bytes) -> AnyRequest:
     return decoder(payload)
 
 
-def decode_response(payload: bytes) -> AnyResponse:
-    """Decode a prover-to-verifier message by its type tag."""
-    if not payload:
+def decode_response(payload: Buffer, *, copy: bool = False) -> AnyResponse:
+    """Decode a prover-to-verifier message by its type tag.
+
+    Decoded measurement fields are zero-copy views over ``payload`` by
+    default; ``copy=True`` materializes independent ``bytes`` for callers
+    that retain records after the buffer is recycled.
+    """
+    if not len(payload):
         raise ProtocolDecodeError("empty response")
     try:
         decoder = _RESPONSE_DECODERS[payload[0]]
     except KeyError as exc:
         raise ProtocolDecodeError(
             f"unknown response type {payload[0]}") from exc
-    return decoder(payload)
+    return decoder(payload, copy=copy)

@@ -551,6 +551,10 @@ class BaseVerifier:
         self.store = store
         self._enrollments: Dict[str, Enrollment] = {}
         self._last_collection_time: Dict[str, float] = {}
+        # Bumped whenever a device's key or digest whitelist changes (not
+        # on last-seen advances); worker pools key their enrollment
+        # mirrors on this so re-syncs only happen when material changed.
+        self._enrollment_epoch = 0
 
     # Policy attributes kept readable for existing callers/tests.
     @property
@@ -587,6 +591,10 @@ class BaseVerifier:
 
     def _set_enrollment(self, enrollment: Enrollment) -> None:
         """Install an enrollment and write it through to the store."""
+        previous = self._enrollments.get(enrollment.device_id)
+        if previous is None or previous.key != enrollment.key or \
+                previous.healthy_digests != enrollment.healthy_digests:
+            self._enrollment_epoch += 1
         self._enrollments[enrollment.device_id] = enrollment
         if self.store is not None:
             self.store.save_enrollment(enrollment)

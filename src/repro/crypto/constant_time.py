@@ -16,8 +16,8 @@ def constant_time_compare(left: bytes, right: bytes) -> bool:
     Returns ``True`` only when the inputs have equal length and equal
     content.  The running time depends only on the length of ``left``.
     """
-    if not isinstance(left, (bytes, bytearray)) or not isinstance(
-            right, (bytes, bytearray)):
+    accepted = (bytes, bytearray, memoryview)
+    if not isinstance(left, accepted) or not isinstance(right, accepted):
         raise TypeError("constant_time_compare expects bytes")
     result = len(left) ^ len(right)
     padded_right = bytes(right) + b"\x00" * max(0, len(left) - len(right))

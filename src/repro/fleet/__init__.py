@@ -74,12 +74,14 @@ from repro.fleet.transport import (
     AsyncTransport,
     InProcessTransport,
     SimulatedNetworkTransport,
+    SocketTransport,
     SwarmRelayTransport,
     SyncTransportAdapter,
     Transport,
     as_async_transport,
     serve_request,
 )
+from repro.fleet.workers import WorkerCrashed, WorkerError, WorkerPool
 
 __all__ = [
     "AsyncTransport",
@@ -103,10 +105,14 @@ __all__ = [
     "ShardedFleetVerifier",
     "SimulatedNetworkTransport",
     "SinkFanout",
+    "SocketTransport",
     "SwarmRelayTransport",
     "SyncTransportAdapter",
     "TRANSPORT_FACTORIES",
     "Transport",
+    "WorkerCrashed",
+    "WorkerError",
+    "WorkerPool",
     "as_async_transport",
     "derive_device_key",
     "report_to_row",

@@ -52,10 +52,12 @@ from repro.fleet.transport import (
     AsyncTransport,
     InProcessTransport,
     SimulatedNetworkTransport,
+    SocketTransport,
     SwarmRelayTransport,
     Transport,
     as_async_transport,
 )
+from repro.fleet.workers import WorkerCrashed, WorkerPool, decode_result
 from repro.sim.engine import SimulationEngine
 from repro.store import MemoryStore, StateStore
 
@@ -336,6 +338,35 @@ class FleetVerifier(BaseVerifier):
         for sink in self.sinks:
             sink.emit(report)
         return report
+
+    def apply_worker_batch(self, report_rows: Iterable[Mapping[str, object]],
+                           health_row: Mapping[str, object]
+                           ) -> List[VerificationReport]:
+        """Commit one process-worker task's results, in row order.
+
+        The twin of :meth:`_commit` for verification that happened in a
+        worker process: each shipped report row is journaled, advances
+        the device's bookkeeping and streams to the sinks exactly as a
+        locally-verified report would, and the task's
+        :class:`FleetHealth` part folds in through
+        :meth:`FleetHealth.merge` — the exact-Fraction accumulator, so
+        the merged aggregate is byte-identical to recording every
+        report here.
+        """
+        reports: List[VerificationReport] = []
+        obs_enabled = self.obs.enabled
+        for row in report_rows:
+            report = VerificationReport.from_row(row)
+            if self.store is not None:
+                self.store.append_report(report)
+            self._advance_bookkeeping(report)
+            if obs_enabled:
+                self.obs.report_committed(report)
+            for sink in self.sinks:
+                sink.emit(report)
+            reports.append(report)
+        self.health.merge(FleetHealth.from_row(health_row))
+        return reports
 
     def checkpoint(self) -> None:
         """Fold the verifier's full state into a durable store snapshot.
@@ -688,6 +719,135 @@ class FleetVerifier(BaseVerifier):
         return self._finish_round(reports, stats, atransport, stale_before,
                                   started, checkpoint)
 
+    async def collect_all_process_async(self, transport, pool: WorkerPool,
+                                        worker_index: int,
+                                        collection_time: Optional[float]
+                                        = None,
+                                        k: Optional[int] = None,
+                                        device_ids: Optional[Iterable[str]]
+                                        = None,
+                                        batch_size: int = DEFAULT_BATCH_SIZE,
+                                        checkpoint: bool = True,
+                                        max_inflight_shards: int =
+                                        DEFAULT_MAX_INFLIGHT_SHARDS
+                                        ) -> RoundReports:
+        """One collection round with verification in a worker process.
+
+        The pipeline shape of :meth:`collect_all_async` — batches of
+        ``batch_size`` devices, up to ``max_inflight_shards`` in flight
+        — but each settled batch is shipped to ``pool`` worker
+        ``worker_index`` as a binary task (payloads plus current
+        ``last_seen`` snapshots) instead of being verified inline.  The
+        worker returns report rows and one :class:`FleetHealth` part
+        per task; :meth:`apply_worker_batch` commits them here in batch
+        order, so stores, sinks and bookkeeping see exactly what local
+        verification would have produced.
+
+        The caller must have spawned the worker and synced enrollments
+        (see :meth:`WorkerPool.ensure_worker` /
+        :meth:`WorkerPool.sync_enrollments`).  If the worker crashes
+        mid-round, every batch still outstanding on it completes with
+        its devices reported ``NO_DATA`` and counted as lost; the
+        worker is *not* respawned mid-round — the next round's
+        ``ensure_worker`` brings it back.  Per-device span traces are
+        not recorded in process mode (the verify happens in another
+        process); verify latency still feeds the shard histogram from
+        worker-measured timings.
+        """
+        if max_inflight_shards <= 0:
+            raise ValueError("max_inflight_shards must be positive")
+        atransport = as_async_transport(transport)
+        engine, ids, request_bytes = self._round_prologue(
+            atransport, collection_time, device_ids, batch_size, k)
+        shards = [ids[start:start + batch_size]
+                  for start in range(0, len(ids), batch_size)]
+        stale_before = getattr(atransport, "stale_responses_rejected", 0)
+        started = _time.perf_counter()
+        reports = RoundReports()
+        stats = RoundStats(shards=len(shards))
+        obs = self.obs
+        obs_enabled = obs.enabled
+        observe = obs.verify_observer(self.obs_shard).observe \
+            if obs_enabled else None
+
+        async def _collect_shard(shard: List[str]):
+            responses = await atransport.exchange_many(
+                {device_id: request_bytes for device_id in shard})
+            shard_time = collection_time \
+                if collection_time is not None else engine.now
+            entries = [(device_id, responses.get(device_id),
+                        self._enrollments[device_id].last_seen)
+                       for device_id in shard]
+            try:
+                body = await asyncio.wrap_future(pool.submit_task(
+                    worker_index, shard_time, entries,
+                    want_timings=obs_enabled))
+            except WorkerCrashed:
+                return responses, shard_time, None, None
+            rows, health_row, timings = decode_result(body)
+            return responses, shard_time, (rows, health_row), timings
+
+        in_flight: List[asyncio.Task] = []
+        next_shard = 0
+
+        def _keep_window_full() -> None:
+            nonlocal next_shard
+            while next_shard < len(shards) and \
+                    len(in_flight) < max_inflight_shards:
+                in_flight.append(asyncio.ensure_future(
+                    _collect_shard(shards[next_shard])))
+                next_shard += 1
+
+        if obs_enabled:
+            obs.rounds_inflight.inc()
+        current: Optional[asyncio.Task] = None
+        try:
+            with SinkFanout(self.sinks):
+                _keep_window_full()
+                shard_index = 0
+                while in_flight:
+                    current = in_flight.pop(0)
+                    responses, shard_time, outcome, timings = await current
+                    current = None
+                    _keep_window_full()
+                    shard = shards[shard_index]
+                    shard_index += 1
+                    if outcome is None:
+                        # The worker died holding this batch: the
+                        # responses are unverifiable, so the devices
+                        # are reported lost — never guessed healthy.
+                        self._count_batch(stats, shard, {})
+                        for device_id in shard:
+                            reports.append(self._commit(VerificationReport(
+                                device_id=device_id,
+                                collection_time=shard_time,
+                                status=DeviceStatus.NO_DATA,
+                                anomalies=["shard worker crashed; response "
+                                           "discarded"])))
+                        continue
+                    self._count_batch(stats, shard, responses)
+                    rows, health_row = outcome
+                    reports.extend(self.apply_worker_batch(rows, health_row))
+                    if observe is not None and timings is not None:
+                        for timing in timings:
+                            observe(timing)
+        except BaseException:
+            leftovers = ([current] if current is not None else []) + in_flight
+            for task in leftovers:
+                task.cancel()
+            for task in leftovers:
+                try:
+                    await task
+                except BaseException:
+                    pass  # the primary failure is what propagates
+            self.sinks = [sink for sink in self.sinks if not sink.closed]
+            raise
+        finally:
+            if obs_enabled:
+                obs.rounds_inflight.dec()
+        return self._finish_round(reports, stats, atransport, stale_before,
+                                  started, checkpoint)
+
 
 # ----------------------------------------------------------------------
 # Sharded verification
@@ -789,6 +949,16 @@ class ShardedFleetVerifier:
       requiring a transport that allows concurrent exchanges.  The
       seam for workloads that do drop the GIL (large measured regions,
       native crypto offload) or free-threaded builds.
+    * ``"process"`` — one spawned worker *process* per shard (see
+      :mod:`repro.fleet.workers`): the HMAC-heavy verify loop runs
+      outside this process's GIL entirely, fed over binary pipes with
+      zero-copy payload views on the worker side.  The parent keeps
+      the shared store, sinks and enrollments; workers ship report
+      rows and exact :class:`FleetHealth` parts home, so the merged
+      health stays byte-identical to ``"loop"`` mode.  Workers spawn
+      lazily on the first round, re-sync enrollments only when keys or
+      whitelists change, and a crashed worker's outstanding batches
+      finish as lost devices before it rejoins the next round.
     """
 
     def __init__(self, config: ErasmusConfig, shards: int = 4,
@@ -800,12 +970,14 @@ class ShardedFleetVerifier:
                  obs: Optional["Observability"] = None) -> None:
         if shards < 1:
             raise ValueError("a sharded verifier needs at least one shard")
-        if worker_mode not in ("loop", "thread"):
+        if worker_mode not in ("loop", "thread", "process"):
             raise ValueError(f"unknown worker mode {worker_mode!r}; "
-                             f"expected 'loop' or 'thread'")
+                             f"expected 'loop', 'thread' or 'process'")
         self.worker_mode = worker_mode
         self.config = config
         self.shards = shards
+        self.schedule_tolerance = schedule_tolerance
+        self.allowed_missing = allowed_missing
         self.sinks: List[ReportSink] = list(sinks)
         self.store = store
         self.obs = obs if obs is not None else _default_obs()
@@ -827,7 +999,68 @@ class ShardedFleetVerifier:
         self._shard_of: Dict[str, int] = {}
         self.rounds_completed = 0
         self._round_stats: List[RoundStats] = []
+        # Process-mode machinery: the pool spawns lazily on the first
+        # round; _worker_sync caches (generation, enrollment epoch) per
+        # slot so enrollment mirrors re-ship only when material changed
+        # or the slot respawned.
+        self._pool: Optional[WorkerPool] = None
+        self._worker_sync: List[Optional[tuple]] = [None] * shards
         self._closed = False
+
+    @property
+    def worker_pool(self) -> Optional[WorkerPool]:
+        """The process pool, once the first process-mode round spawned it."""
+        return self._pool
+
+    def _ensure_pool(self) -> WorkerPool:
+        if self._pool is None:
+            self._pool = WorkerPool(self.shards, config=self.config,
+                                    schedule_tolerance=self.schedule_tolerance,
+                                    allowed_missing=self.allowed_missing,
+                                    obs=self.obs)
+        return self._pool
+
+    def warm_up(self) -> None:
+        """Spawn worker processes and ship enrollments ahead of a round.
+
+        Process mode pays its one-time costs — spawning the workers
+        (interpreter + import per process) and shipping each shard's
+        enrollment mirror — lazily inside the first ``collect_all``.
+        Call this first to take that cold start out of the first
+        round's latency (benchmarks measure steady-state rounds this
+        way).  No-op for the in-process worker modes.
+        """
+        if self.worker_mode != "process":
+            return
+
+        async def _warm() -> None:
+            await self._sync_worker_processes(self._ensure_pool())
+
+        asyncio.run(_warm())
+
+    async def _sync_worker_processes(self, pool: WorkerPool) -> None:
+        """Spawn/respawn slots and re-ship changed enrollment mirrors."""
+        waits = []
+        indices = []
+        for index, worker in enumerate(self.workers):
+            generation = pool.ensure_worker(index)
+            key = (generation, worker._enrollment_epoch)
+            if self._worker_sync[index] != key:
+                rows = [worker._enrollments[device_id].to_row()
+                        for device_id in worker.enrolled_ids()]
+                waits.append(asyncio.wrap_future(
+                    pool.sync_enrollments(index, rows)))
+                indices.append(index)
+                self._worker_sync[index] = key
+        if not waits:
+            return
+        results = await asyncio.gather(*waits, return_exceptions=True)
+        for index, result in zip(indices, results):
+            if isinstance(result, BaseException):
+                # The slot died before acking; forget the sync so the
+                # next round re-ships after the respawn.  This round's
+                # tasks to it fail fast as WorkerCrashed (lost devices).
+                self._worker_sync[index] = None
 
     # ------------------------------------------------------------------
     # Enrollment
@@ -955,6 +1188,19 @@ class ShardedFleetVerifier:
                 futures = [pool.submit(_run_worker, index)
                            for index in range(self.shards)]
                 worker_reports = [future.result() for future in futures]
+        elif self.worker_mode == "process":
+            # Verification runs in the pool's worker processes; this
+            # process only drives exchanges and applies commit batches,
+            # all shards overlapping on one event loop.
+            async def _gather_process() -> List[RoundReports]:
+                worker_pool = self._ensure_pool()
+                await self._sync_worker_processes(worker_pool)
+                return list(await asyncio.gather(*[
+                    self.workers[index].collect_all_process_async(
+                        transport, worker_pool, index, **_worker_args(index))
+                    for index in range(self.shards)]))
+
+            worker_reports = asyncio.run(_gather_process())
         else:
             # Cooperative mode: every worker's pipeline shares one
             # event loop, overlapping through the same awaitable
@@ -1007,10 +1253,13 @@ class ShardedFleetVerifier:
     # Lifecycle
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Close fleet-level sinks and the shared store (idempotent)."""
+        """Close fleet-level sinks, the shared store and any worker pool
+        (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        if self._pool is not None:
+            self._pool.close()
         _close_released(self.sinks, self.store)
 
 
@@ -1024,6 +1273,7 @@ TRANSPORT_FACTORIES: Dict[str, Callable[..., Transport]] = {
     "simulated-network": SimulatedNetworkTransport,
     "swarm-relay": SwarmRelayTransport,
 }
+TRANSPORT_FACTORIES["socket"] = SocketTransport
 #: Convenience aliases.
 TRANSPORT_FACTORIES["network"] = SimulatedNetworkTransport
 TRANSPORT_FACTORIES["swarm"] = SwarmRelayTransport
@@ -1066,6 +1316,7 @@ class Fleet:
                   start_time: float = 0.0,
                   transport_options: Optional[Mapping[str, object]] = None,
                   shards: Optional[int] = None,
+                  worker_mode: str = "loop",
                   obs: Optional["Observability"] = None
                   ) -> "Fleet":
         """Provision ``count`` devices from one profile, ready to attest.
@@ -1084,7 +1335,9 @@ class Fleet:
         :meth:`FleetVerifier.restore`).  ``shards`` provisions the
         fleet onto a :class:`ShardedFleetVerifier` with that many
         concurrent shard workers instead of a single
-        :class:`FleetVerifier`.
+        :class:`FleetVerifier`; ``worker_mode`` then selects how the
+        shard rounds execute (``"loop"``, ``"thread"`` or
+        ``"process"`` — see :class:`ShardedFleetVerifier`).
 
         ``obs`` threads one :class:`repro.obs.Observability` through
         the whole stack: its clock binds to the fleet engine, the
@@ -1096,6 +1349,8 @@ class Fleet:
         """
         if count <= 0:
             raise ValueError("a fleet needs at least one device")
+        if worker_mode != "loop" and shards is None:
+            raise ValueError("worker_mode requires shards")
         if engine is None:
             engine = SimulationEngine()
         if obs is None:
@@ -1139,7 +1394,7 @@ class Fleet:
                                      schedule_tolerance=schedule_tolerance,
                                      allowed_missing=allowed_missing,
                                      sinks=round_sinks, store=store,
-                                     obs=obs)
+                                     worker_mode=worker_mode, obs=obs)
         else:
             verifier = FleetVerifier(profile.config,
                                      schedule_tolerance=schedule_tolerance,

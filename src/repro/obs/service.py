@@ -225,6 +225,20 @@ class Observability:
         self.campaign_rounds_recovered_total = r.counter(
             "repro_campaign_rounds_recovered_total",
             "Campaign rounds recovered via FleetVerifier.restore.")
+        # -- worker pool (multi-process collection) ----------------------
+        self.worker_queue_depth = r.gauge(
+            "repro_worker_queue_depth",
+            "Verification tasks in flight per pool worker.",
+            labels=("worker",))
+        self.worker_task_seconds = r.histogram(
+            "repro_worker_task_seconds",
+            "Round-trip latency of worker-pool verification tasks "
+            "(dispatch to merged result), by worker.",
+            labels=("worker",), buckets=DEFAULT_LATENCY_BUCKETS)
+        self.worker_restarts_total = r.counter(
+            "repro_worker_restarts_total",
+            "Pool workers respawned after a crash, by worker slot.",
+            labels=("worker",))
 
         def _count_violation(violation: SloViolation) -> None:
             self.slo_violations_total.labels(violation.rule).inc()

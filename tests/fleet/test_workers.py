@@ -1,0 +1,282 @@
+"""Tests for the process worker pool: codec, byte-identity, crash recovery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import DeviceStatus
+from repro.fleet import Fleet, FleetVerifier, WorkerCrashed, WorkerError, \
+    WorkerPool
+from repro.fleet.workers import (
+    decode_result,
+    decode_task,
+    encode_result,
+    encode_task,
+)
+from tests.fleet.helpers import health_bytes, report_key
+from tests.fleet.helpers import small_profile as _small_profile
+
+FIRMWARE = b"workers-test-firmware"
+MALWARE = b"workers-test-implant!"
+
+
+def small_profile():
+    return _small_profile(FIRMWARE)
+
+
+# ----------------------------------------------------------------------
+# Binary task codec
+# ----------------------------------------------------------------------
+
+def test_task_codec_round_trip():
+    entries = [("dev-0000", b"\x02some-payload", 42.5),
+               ("dev-0001", None, None),
+               ("dev-0002", b"", 0.0),
+               ("dev-é", b"\x00\xff" * 100, None)]
+    frame = encode_task(123.25, entries, want_timings=True)
+    collection_time, flags, decoded = decode_task(frame)
+    assert collection_time == 123.25
+    assert flags & 0x01
+    assert [(device_id, None if payload is None else bytes(payload),
+             last_seen) for device_id, payload, last_seen in decoded] \
+        == entries
+
+
+def test_task_codec_payloads_are_views():
+    frame = encode_task(0.0, [("d", b"payload-bytes", None)])
+    _, _, entries = decode_task(frame)
+    payload = entries[0][1]
+    assert isinstance(payload, memoryview)
+    assert payload.readonly
+    assert bytes(payload) == b"payload-bytes"
+
+
+def test_result_codec_round_trip():
+    rows = [{"device_id": "dev-0000", "status": "ok", "anomalies": []},
+            {"device_id": "dev-0001", "status": "no_data"}]
+    health = {"devices_seen": ["dev-0000"], "rounds": 1}
+    decoded_rows, decoded_health, timings = decode_result(
+        encode_result(rows, health, [0.5, 0.25]))
+    assert decoded_rows == rows
+    assert decoded_health == health
+    assert timings == [0.5, 0.25]
+    decoded_rows, decoded_health, timings = decode_result(
+        encode_result([], health))
+    assert decoded_rows == []
+    assert decoded_health == health
+    assert timings is None
+
+
+# ----------------------------------------------------------------------
+# Process mode == loop mode
+# ----------------------------------------------------------------------
+
+def run_rounds(fleet, infected=(), rounds=1):
+    """Drive deterministic rounds with a mid-window infect/clean cycle."""
+    horizon = 0.0
+    all_reports = []
+    for _ in range(rounds):
+        horizon += 60.0
+        fleet.run_until(horizon)
+        for device_id in infected:
+            fleet.device(device_id).load_application(MALWARE)
+        fleet.run_until(horizon + 20.0)
+        horizon += 20.0
+        for device_id in infected:
+            fleet.device(device_id).load_application(FIRMWARE)
+        all_reports.append(fleet.collect_all())
+    return all_reports
+
+
+def provision_twin(count, shards, infected=(), rounds=1):
+    """Twin sharded fleets differing only in where verification runs."""
+    outcomes = []
+    for worker_mode in ("loop", "process"):
+        fleet = Fleet.provision(small_profile(), count,
+                                master_secret=b"master", shards=shards,
+                                worker_mode=worker_mode)
+        outcomes.append((fleet, run_rounds(fleet, infected, rounds)))
+    return outcomes
+
+
+def test_process_mode_matches_loop_mode():
+    (loop, loop_rounds), (process, process_rounds) = provision_twin(
+        18, shards=3, infected=("dev-0004", "dev-0011"), rounds=2)
+    try:
+        for loop_reports, process_reports in zip(loop_rounds,
+                                                 process_rounds):
+            assert [report_key(r) for r in loop_reports] == \
+                [report_key(r) for r in process_reports]
+        assert health_bytes(loop.verifier) == health_bytes(process.verifier)
+        # The infect/clean cycle flags its victims in both placements
+        # (the 80 s cadence additionally flags round-2 gap policy hits,
+        # identically on both sides — pinned by the byte-identity above).
+        assert {"dev-0004", "dev-0011"} <= process.health.flagged_devices
+        pool = process.verifier.worker_pool
+        assert pool is not None and pool.restarts == [0, 0, 0]
+    finally:
+        loop.close()
+        process.close()
+
+
+@settings(max_examples=4, deadline=None)
+@given(count=st.integers(min_value=1, max_value=10),
+       shards=st.integers(min_value=1, max_value=3),
+       infect_stride=st.integers(min_value=0, max_value=3))
+def test_process_merge_health_byte_identical_property(count, shards,
+                                                      infect_stride):
+    infected = tuple(f"dev-{index:04d}" for index in range(count)
+                     if infect_stride and index % 3 == infect_stride % 3)
+    (loop, _), (process, _) = provision_twin(count, shards,
+                                             infected=infected)
+    try:
+        assert health_bytes(loop.verifier) == health_bytes(process.verifier)
+    finally:
+        loop.close()
+        process.close()
+
+
+# ----------------------------------------------------------------------
+# Crash injection and recovery
+# ----------------------------------------------------------------------
+
+def test_worker_crash_loses_round_then_rejoins():
+    # A whole collection round vanishes with the crashed worker, so the
+    # survivors' buffers bridge a one-round gap on rejoin: tolerate it.
+    fleet = Fleet.provision(small_profile(), 12, master_secret=b"master",
+                            shards=2, worker_mode="process",
+                            allowed_missing=8)
+    try:
+        verifier = fleet.verifier
+        shard0 = [device_id for device_id in verifier.enrolled_ids()
+                  if verifier.shard_of(device_id) == 0]
+        others = [device_id for device_id in verifier.enrolled_ids()
+                  if verifier.shard_of(device_id) != 0]
+        assert shard0 and others
+
+        fleet.run_until(60.0)
+        first = {r.device_id: r for r in fleet.collect_all()}
+        assert all(r.status is DeviceStatus.HEALTHY for r in first.values())
+        pool = verifier.worker_pool
+        assert pool is not None
+
+        pool.inject_crash(0)
+        fleet.run_until(120.0)
+        second = {r.device_id: r for r in fleet.collect_all()}
+        for device_id in shard0:
+            report = second[device_id]
+            assert report.status is DeviceStatus.NO_DATA
+            assert any("worker crashed" in anomaly
+                       for anomaly in report.anomalies)
+        for device_id in others:
+            assert second[device_id].status is DeviceStatus.HEALTHY
+        assert second[shard0[0]].collection_time == \
+            pytest.approx(120.0, abs=1.0)
+
+        # The next round respawns the slot, re-ships its enrollment
+        # mirror, and the shard rejoins with data-bearing reports.
+        fleet.run_until(180.0)
+        third = {r.device_id: r for r in fleet.collect_all()}
+        assert all(r.status is DeviceStatus.HEALTHY for r in third.values())
+        assert all(r.measurement_count > 0 for r in third.values())
+        assert pool.restarts[0] == 1
+        assert pool.restarts[1] == 0
+        assert verifier.health.devices_seen == set(verifier.enrolled_ids())
+    finally:
+        fleet.close()
+
+
+def test_crash_round_health_counts_shard_devices_unseen():
+    fleet = Fleet.provision(small_profile(), 8, master_secret=b"master",
+                            shards=2, worker_mode="process")
+    try:
+        fleet.run_until(60.0)
+        fleet.verifier.warm_up()
+        pool = fleet.verifier.worker_pool
+        pool.inject_crash(1)
+        reports = fleet.collect_all()
+        shard1 = {device_id for device_id in fleet.verifier.enrolled_ids()
+                  if fleet.verifier.shard_of(device_id) == 1}
+        assert {r.device_id for r in reports
+                if r.status is DeviceStatus.NO_DATA} == shard1
+        stats = reports.stats
+        assert stats.responses_lost == len(shard1)
+    finally:
+        fleet.close()
+
+
+# ----------------------------------------------------------------------
+# Pool mechanics
+# ----------------------------------------------------------------------
+
+def test_submit_before_spawn_raises():
+    pool = WorkerPool(1, config=small_profile().config)
+    try:
+        with pytest.raises(WorkerCrashed):
+            pool.submit_task(0, 0.0, [])
+    finally:
+        pool.close()
+
+
+def test_worker_reports_python_errors_as_worker_error():
+    pool = WorkerPool(1, config=small_profile().config)
+    try:
+        pool.ensure_worker(0)
+        future = pool.sync_enrollments(0, [{"bogus": "row"}])
+        with pytest.raises(WorkerError, match="worker 0 failed"):
+            future.result(timeout=30)
+        # The worker survives a failed frame: the next one still works.
+        assert pool.sync_enrollments(0, []).result(timeout=30) is not None
+    finally:
+        pool.close()
+
+
+def test_pool_close_is_idempotent_and_final():
+    pool = WorkerPool(2, config=small_profile().config)
+    pool.ensure_worker(0)
+    pool.close()
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.ensure_worker(0)
+
+
+def test_enrollment_epoch_tracks_material_changes_only():
+    profile = small_profile()
+    verifier = FleetVerifier(profile.config)
+    device = profile.provision("e-0000", master_secret=b"master")
+    epoch0 = verifier._enrollment_epoch
+    verifier.enroll_device(device)
+    epoch1 = verifier._enrollment_epoch
+    assert epoch1 > epoch0
+    # Re-enrolling identical material does not bump the epoch, so
+    # worker mirrors are not re-shipped for nothing.
+    verifier.enroll_device(device, re_enroll=True)
+    assert verifier._enrollment_epoch == epoch1
+    # New firmware (a new digest whitelist) is material: epoch bumps.
+    changed = profile.provision("e-0000", master_secret=b"other")
+    verifier.enroll_device(changed, re_enroll=True)
+    assert verifier._enrollment_epoch > epoch1
+
+
+def test_worker_pool_metrics_record_restarts_and_latency():
+    from repro.obs import Observability
+
+    obs = Observability()
+    fleet = Fleet.provision(small_profile(), 6, master_secret=b"master",
+                            shards=2, worker_mode="process", obs=obs)
+    try:
+        fleet.run_until(60.0)
+        fleet.collect_all()
+        assert obs.worker_task_seconds.labels("0").count >= 1
+        assert obs.worker_task_seconds.labels("1").count >= 1
+        assert obs.worker_queue_depth.value("0") == 0
+        assert obs.worker_restarts_total.value("0") == 0
+        pool = fleet.verifier.worker_pool
+        pool.inject_crash(0)
+        fleet.run_until(120.0)
+        fleet.collect_all()
+        fleet.run_until(180.0)
+        fleet.collect_all()
+        assert obs.worker_restarts_total.value("0") == 1
+    finally:
+        fleet.close()
