@@ -110,6 +110,9 @@ class OnDemandVerifier:
         measurement = response.fresh
         authentic = self.mac_algorithm.verify(
             key, measurement.authenticated_payload(), measurement.tag)
+        # Public whitelist membership; the MAC check above is the
+        # authentication decision.
+        # statics: ok(constant-time)
         healthy = measurement.digest in self._healthy_digests[device_id]
         verdict = MeasurementVerdict(measurement=measurement,
                                      authentic=authentic, healthy=healthy)

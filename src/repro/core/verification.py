@@ -292,6 +292,9 @@ class VerificationCore:
         authentic = self.mac_algorithm.verify(
             enrollment.key, measurement.authenticated_payload(),
             measurement.tag, backend=self.crypto_backend)
+        # Whitelist membership over public known-good software states;
+        # authenticity is decided by the MAC check above, not by this.
+        # statics: ok(constant-time)
         healthy = measurement.digest in enrollment.healthy_digests
         from_future = measurement.timestamp > collection_time + 1e-6
         return MeasurementVerdict(measurement=measurement, authentic=authentic,
@@ -519,6 +522,7 @@ class DeviceJudge:
                 measurement=measurement,
                 authentic=compare(mac(measurement.authenticated_payload()),
                                   measurement.tag),
+                # statics: ok(constant-time) — public whitelist membership
                 healthy=measurement.digest in digests,
                 from_future=measurement.timestamp > horizon))
         return self.core._assess(report, enrollment, collection_time)
@@ -592,8 +596,13 @@ class BaseVerifier:
     def _set_enrollment(self, enrollment: Enrollment) -> None:
         """Install an enrollment and write it through to the store."""
         previous = self._enrollments.get(enrollment.device_id)
-        if previous is None or previous.key != enrollment.key or \
-                previous.healthy_digests != enrollment.healthy_digests:
+        key_changed = previous is not None and not \
+            self.crypto_backend.compare_digests(previous.key, enrollment.key)
+        if (previous is None or key_changed
+                # Whitelist *change detection* over public software-state
+                # digest sets, not an authentication decision:
+                # statics: ok(constant-time)
+                or previous.healthy_digests != enrollment.healthy_digests):
             self._enrollment_epoch += 1
         self._enrollments[enrollment.device_id] = enrollment
         if self.store is not None:

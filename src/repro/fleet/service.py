@@ -59,6 +59,7 @@ from repro.fleet.transport import (
 )
 from repro.fleet.workers import WorkerCrashed, WorkerPool, decode_result
 from repro.sim.engine import SimulationEngine
+from repro.statics.runtime import named_lock
 from repro.store import MemoryStore, StateStore
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle broken at runtime
@@ -305,7 +306,8 @@ class FleetVerifier(BaseVerifier):
     def _judge_for(self, device_id: str, enrollment) -> DeviceJudge:
         """The device's cached fast path, rebuilt on key change."""
         judge = self._judges.get(device_id)
-        if judge is None or judge.key != enrollment.key:
+        if judge is None or not self.crypto_backend.compare_digests(
+                judge.key, enrollment.key):
             judge = self.core.device_judge(enrollment.key)
             self._judges[device_id] = judge
         return judge
@@ -867,7 +869,7 @@ class _LockedStore(StateStore):
 
     def __init__(self, inner: StateStore) -> None:
         self.inner = inner
-        self._lock = threading.RLock()
+        self._lock = named_lock("fleet.store", kind="rlock")
 
     def save_enrollment(self, enrollment) -> None:
         with self._lock:
@@ -985,6 +987,7 @@ class ShardedFleetVerifier:
         # wrapped one in), so recorded store latency stays the
         # backend's own rather than lock-wait time.
         shared = _LockedStore(store) if store is not None else None
+        self._shared_store = shared
         self.workers: List[FleetVerifier] = [
             FleetVerifier(config, schedule_tolerance=schedule_tolerance,
                           allowed_missing=allowed_missing, sinks=(),
@@ -1121,14 +1124,20 @@ class ShardedFleetVerifier:
         return merged
 
     def checkpoint(self) -> None:
-        """Snapshot the merged state into the shared store."""
-        if self.store is None:
+        """Snapshot the merged state into the shared store.
+
+        Goes through the :class:`_LockedStore` wrapper, never the raw
+        backend: a straggling shard worker may still be appending report
+        rows when a pipelined round checkpoints, and the JSONL/SQLite
+        backends are single-writer.
+        """
+        if self._shared_store is None:
             return
         times: Dict[str, float] = {}
         for worker in self.workers:
             times.update(worker._last_collection_time)
-        self.store.checkpoint(self.health, times,
-                              rounds_completed=self.rounds_completed)
+        self._shared_store.checkpoint(
+            self.health, times, rounds_completed=self.rounds_completed)
 
     # ------------------------------------------------------------------
     # Collection

@@ -45,6 +45,7 @@ from concurrent.futures import Future
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import ErasmusConfig
+from repro.statics.runtime import named_lock
 
 if TYPE_CHECKING:  # pragma: no cover — runtime import would cycle
     from repro.obs.service import Observability
@@ -349,7 +350,7 @@ class _WorkerHandle:
         self.pending: Dict[int, Future] = {}
         self.reader: Optional[threading.Thread] = None
         self.dead = threading.Event()
-        self.lock = threading.Lock()
+        self.lock = named_lock("fleet.worker_handle")
 
 
 class WorkerPool:
@@ -382,7 +383,7 @@ class WorkerPool:
         self.restarts = [0] * count
         self._crash_armed = [False] * count
         self._rids = itertools.count(1)
-        self._lock = threading.Lock()
+        self._lock = named_lock("fleet.worker_pool")
         self._closed = False
 
     # -- lifecycle ------------------------------------------------------
@@ -430,6 +431,24 @@ class WorkerPool:
         :class:`WorkerCrashed`, exactly as an organic crash would.
         """
         self._crash_armed[index] = True
+
+    def kill(self, index: int) -> None:
+        """Hard-kill the slot *now* via an ``OP_EXIT`` frame.
+
+        Unlike :meth:`inject_crash` (which waits for the next task),
+        this crashes an idle worker immediately: in-flight futures fail
+        with :class:`WorkerCrashed` and the next
+        :meth:`ensure_worker` respawns the slot.  A dead or never
+        spawned slot is a no-op.
+        """
+        handle = self._handles[index]
+        if handle is None or handle.dead.is_set():
+            return
+        try:
+            handle.conn.send_bytes(_FRAME.pack(OP_EXIT, next(self._rids)))
+        except (OSError, ValueError):
+            pass  # pipe already gone — the reader will reap it
+        handle.process.join(timeout=5.0)
 
     def close(self) -> None:
         """Shut every worker down (idempotent)."""
@@ -550,8 +569,14 @@ class WorkerPool:
             if opcode == OP_ERROR:
                 future.set_exception(WorkerError(
                     f"worker {index} failed:\n{str(body, 'utf-8')}"))
-            else:
+            elif opcode in (OP_RESULT, OP_CELL_RESULT):
                 future.set_result(body)
+            else:
+                # A frame this parent cannot interpret means the codec
+                # versions disagree; resolving it as a result would hand
+                # the caller garbage bytes to decode.
+                future.set_exception(WorkerError(
+                    f"worker {index} sent unexpected opcode {opcode}"))
         handle.dead.set()
         with handle.lock:
             orphans = list(handle.pending.values())

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from repro.crypto.constant_time import constant_time_compare
 from repro.crypto.sha256 import sha256_digest
 
 
@@ -33,11 +34,16 @@ class SecureBoot:
             name: sha256_digest(image) for name, image in images.items()})
 
     def verify_image(self, name: str, image: bytes) -> bool:
-        """Check one image against its provisioned digest."""
+        """Check one image against its provisioned digest.
+
+        Constant-time: boot-time verification is exactly where a
+        byte-by-byte early exit would leak how much of a forged image's
+        digest matches.
+        """
         expected = self.expected_digests.get(name)
         if expected is None:
             return False
-        return sha256_digest(image) == expected
+        return constant_time_compare(sha256_digest(image), expected)
 
     def boot(self, images: Dict[str, bytes]) -> None:
         """Verify every provisioned image and mark the device booted.

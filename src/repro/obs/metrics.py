@@ -56,7 +56,6 @@ byte-identical expositions (the obs test-suite pins this).
 from __future__ import annotations
 
 import bisect
-import threading
 from collections import deque
 from typing import (
     Callable,
@@ -68,6 +67,8 @@ from typing import (
     Sequence,
     Tuple,
 )
+
+from repro.statics.runtime import named_lock
 
 #: Default latency buckets (seconds): tuned for the per-device verify
 #: path, which sits in the tens-of-microseconds to milliseconds range.
@@ -390,7 +391,7 @@ class Metric:
         # Children mutate under the GIL; the creation lock only guards
         # the insert of a *new* child (reads never take it).
         self._children: Dict[Tuple[str, ...], object] = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.metric_children")
         if not self.label_names:
             self._default = self.labels()
 
@@ -555,7 +556,7 @@ class MetricsRegistry:
 
     def __init__(self, summary_quantiles: Sequence[float] = ()) -> None:
         self._metrics: Dict[str, Metric] = {}
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.registry")
         self._clock = _ClockBox()
         self.summary_quantiles: Tuple[float, ...] = \
             tuple(float(q) for q in summary_quantiles)

@@ -240,6 +240,10 @@ class FreshnessRule(SloRule):
         if max_mean_seconds <= 0:
             raise ValueError("max_mean_seconds must be positive")
         self.max_mean_seconds = max_mean_seconds
+        # Via str(): the user wrote the decimal "0.1", not the binary
+        # float nearest it — Fraction(0.1) is a hair *above* 0.1, so a
+        # fleet whose exact mean lands on the threshold would misjudge.
+        self._max_mean = Fraction(str(max_mean_seconds))
         self._sum = Fraction(0)
         self._count = 0
 
@@ -260,7 +264,7 @@ class FreshnessRule(SloRule):
         return None  # a late fresh report can still pull the mean back
 
     def _verdict(self, total: Fraction, count: int) -> Optional[tuple]:
-        if count and total / count > Fraction(self.max_mean_seconds):
+        if count and total / count > self._max_mean:
             mean = float(total / count)
             return (mean,
                     f"mean freshness {mean:.1f}s exceeds "
@@ -297,6 +301,9 @@ class AttestationWindowRule(SloRule):
         if expected_devices <= 0:
             raise ValueError("expected_devices must be positive")
         self.min_fraction = min_fraction
+        # Exact decimal threshold: 0.07 * 100 is 7.000000000000001 as
+        # floats, so exactly 7 of 100 attested would falsely violate.
+        self._min_fraction_exact = Fraction(str(min_fraction))
         self.window = window
         self.expected_devices = expected_devices
         self._clock = clock
@@ -322,6 +329,11 @@ class AttestationWindowRule(SloRule):
         self._attested_in_window = 0
         self._violated = None
 
+    def _short_of_target(self) -> bool:
+        """Exact ``attested/expected < min_fraction`` — no float target."""
+        return (Fraction(self._attested_in_window, self.expected_devices)
+                < self._min_fraction_exact)
+
     def observe(self, report: VerificationReport) -> Optional[tuple]:
         now = self._now()
         if self._round_start is None:
@@ -331,8 +343,7 @@ class AttestationWindowRule(SloRule):
             self._attested_in_window += 1
         if self._violated is not None:
             return None  # already fired this round
-        target = self.min_fraction * self.expected_devices
-        if not in_window and self._attested_in_window < target:
+        if not in_window and self._short_of_target():
             fraction = self._attested_in_window / self.expected_devices
             self._violated = (
                 fraction,
@@ -347,8 +358,7 @@ class AttestationWindowRule(SloRule):
             return None  # already streamed; do not double-fire
         if self._round_start is None:
             return None
-        target = self.min_fraction * self.expected_devices
-        if self._attested_in_window < target:
+        if self._short_of_target():
             fraction = self._attested_in_window / self.expected_devices
             return (fraction,
                     f"only {self._attested_in_window}/"

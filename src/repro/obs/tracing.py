@@ -29,8 +29,9 @@ from __future__ import annotations
 
 import hashlib
 import json
-import threading
 from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro.statics.runtime import named_lock
 
 #: Hex characters in a derived span id (8 bytes of keyed BLAKE2s).
 SPAN_ID_BYTES = 8
@@ -102,7 +103,7 @@ class SpanTracer:
         #: Device verifies as lean tuples:
         #: (shard_path, device_id, virtual_time, status).
         self._device_rows: List[Tuple[str, str, float, str]] = []
-        self._lock = threading.Lock()
+        self._lock = named_lock("obs.tracer")
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach (or replace) the virtual clock spans are stamped with."""

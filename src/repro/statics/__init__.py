@@ -1,0 +1,44 @@
+"""repro.statics — the repo's own invariant lint engine.
+
+The reproduction enforces several load-bearing invariants only by
+convention: secret material is compared constant-time, health merges
+stay exact-``Fraction`` so sharded/process twins remain byte-identical,
+deterministic paths never touch wall-clock or unseeded randomness, and
+shared verifier state is only reached through the fleet's lock
+discipline.  This package checks those conventions *statically*: a
+small AST visitor framework, one rule class per invariant, findings
+with file/line/severity, a ``# statics: ok(<rule>)`` pragma seam, a
+committed baseline for grandfathered findings, and a CLI
+(``python -m repro.statics``) emitting text and byte-stable JSON
+reports.
+
+:mod:`repro.statics.runtime` is the dynamic counterpart: a test-mode
+lock witness that records acquisition order per thread and flags order
+inversions and held-lock blocking calls across the shard/store/obs
+locks.
+"""
+
+from repro.statics.engine import (
+    Checker,
+    FileContext,
+    Finding,
+    ScanResult,
+    run_checks,
+    scan_paths,
+)
+from repro.statics.baseline import Baseline, BaselineEntry, BaselineError
+from repro.statics.report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "BaselineError",
+    "Checker",
+    "FileContext",
+    "Finding",
+    "ScanResult",
+    "render_json",
+    "render_text",
+    "run_checks",
+    "scan_paths",
+]

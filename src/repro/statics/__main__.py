@@ -1,0 +1,7 @@
+"""Entry point for ``python -m repro.statics``."""
+
+import sys
+
+from repro.statics.cli import main
+
+sys.exit(main())

@@ -1,0 +1,120 @@
+"""Committed baseline of grandfathered findings.
+
+A baseline entry acknowledges one pre-existing finding so CI can gate
+on *new* violations without a flag day.  Every entry must carry a
+human justification — an unexplained suppression is how invariants
+rot — and :func:`Baseline.load` rejects files that omit one.
+
+Entries match findings by ``(rule, path, message)``: line numbers
+drift with unrelated edits, so they are recorded for humans but not
+used for matching.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.statics.engine import Finding
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE_NAME = "statics-baseline.json"
+
+
+class BaselineError(ValueError):
+    """A baseline file is malformed or missing a justification."""
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding plus why it is acceptable."""
+
+    rule: str
+    path: str
+    line: int
+    message: str
+    justification: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.message)
+
+    def to_row(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_row(cls, row: Dict[str, object]) -> "BaselineEntry":
+        try:
+            entry = cls(rule=str(row["rule"]), path=str(row["path"]),
+                        line=int(row.get("line", 0)),
+                        message=str(row["message"]),
+                        justification=str(row.get("justification", "")))
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline entry is missing field {exc.args[0]!r}") from exc
+        if not entry.justification.strip():
+            raise BaselineError(
+                f"baseline entry for {entry.rule} at {entry.path} has no "
+                f"justification; every grandfathered finding must say why")
+        return entry
+
+
+class Baseline:
+    """The set of findings a run is allowed to report as pre-existing."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = sorted(
+            entries, key=lambda entry: (entry.path, entry.line, entry.rule,
+                                        entry.message))
+        self._keys = {entry.key for entry in self.entries}
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def matches(self, finding: Finding) -> bool:
+        return (finding.rule, finding.path, finding.message) in self._keys
+
+    @classmethod
+    def from_findings(cls, findings: Iterable[Finding],
+                      justification: str) -> "Baseline":
+        if not justification.strip():
+            raise BaselineError("a baseline needs a justification")
+        return cls(BaselineEntry(rule=finding.rule, path=finding.path,
+                                 line=finding.line, message=finding.message,
+                                 justification=justification)
+                   for finding in findings)
+
+    # ------------------------------------------------------------------
+    # Persistence — byte-stable, like the JSON report
+    # ------------------------------------------------------------------
+    def to_bytes(self) -> bytes:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [entry.to_row() for entry in self.entries],
+        }
+        return (json.dumps(payload, sort_keys=True, indent=2) +
+                "\n").encode("utf-8")
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_bytes(self.to_bytes())
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        try:
+            payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BaselineError(f"could not read baseline {path}: {exc}") \
+                from exc
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise BaselineError(
+                f"baseline {path} must be an object with 'entries'")
+        return cls(BaselineEntry.from_row(row)
+                   for row in payload["entries"])

@@ -1,0 +1,110 @@
+"""Rule ``constant-time``: secret material never meets ``==``.
+
+The paper's verifier recomputes a MAC over the prover's response and
+compares; an early-exit comparison leaks how many prefix bytes matched
+(the classic HMAC timing oracle).  The repo funnels every such
+comparison through :func:`repro.crypto.constant_time.constant_time_compare`
+(or the backend's ``compare_digests``); this rule flags ``==`` / ``!=``
+/ ``in`` / ``not in`` on values whose names say they hold MACs,
+digests, tags, keys or other secret material anywhere else.
+
+Heuristics keeping the noise down:
+
+* comparing against a ``str`` / number constant is benign — secret
+  material is bytes, so those comparisons are over names and labels;
+* identifiers whose last word is a label word (``mac_name``,
+  ``digest_size``) are benign;
+* a bare ``key`` variable is a dict key, not key material — only
+  compound names (``device_key``) and attribute access
+  (``enrollment.key``) count.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.statics.engine import (
+    Checker, FileContext, Finding, split_name, terminal_name,
+)
+
+SECRET_PARTS = {
+    "mac", "macs", "hmac", "digest", "digests", "secret", "secrets",
+    "tag", "tags", "nonce", "nonces", "token", "tokens", "checksum",
+}
+BENIGN_LAST_PARTS = {
+    "name", "names", "label", "labels", "algo", "algorithm",
+    "algorithms", "id", "ids", "kind", "path", "type", "index",
+    "count", "len", "length", "size", "mode", "format", "row", "rows",
+    # Tables/collections keyed BY algorithm name, and structural words:
+    # _HMAC_HASHES, _SMARTPLUS_MAC_KB, SECRET_PARTS are lookup tables,
+    # not material.
+    "hashes", "kb", "parts", "table", "tables", "registry",
+}
+_FLAGGED_OPS = (ast.Eq, ast.NotEq, ast.In, ast.NotIn)
+#: The one module allowed to implement the comparison itself.
+_EXEMPT_SUFFIXES = ("repro/crypto/constant_time.py",)
+
+
+def _op_text(op: ast.cmpop) -> str:
+    return {ast.Eq: "==", ast.NotEq: "!=", ast.In: "in",
+            ast.NotIn: "not in"}[type(op)]
+
+
+def _is_benign_constant(node: ast.AST) -> bool:
+    return (isinstance(node, ast.Constant)
+            and not isinstance(node.value, (bytes, bytearray)))
+
+
+def _secret_name(node: ast.AST) -> Optional[str]:
+    """The secret-looking identifier behind an operand, if any."""
+    name = terminal_name(node)
+    if name is None:
+        return None
+    parts = split_name(name)
+    if not parts or parts[-1] in BENIGN_LAST_PARTS:
+        return None
+    if any(part in SECRET_PARTS for part in parts):
+        return name
+    # A bare "key" variable is a dict key; "enrollment.key" is key
+    # material.  Plural "keys" is a collection of dict keys unless the
+    # name is compound (session_keys).
+    if "key" in parts and (len(parts) > 1
+                           or isinstance(node, (ast.Attribute,
+                                                ast.Subscript))):
+        return name
+    if "keys" in parts and len(parts) > 1:
+        return name
+    return None
+
+
+class ConstantTimeChecker(Checker):
+    rule = "constant-time"
+    description = ("flags ==/!=/in on MAC/digest/key-named values outside "
+                   "repro.crypto.constant_time")
+    invariant = ("secret material (MACs, digests, keys) is compared "
+                 "constant-time so the verifier leaks no prefix-match "
+                 "timing — the paper's core threat model")
+    applies_to_tests = False
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.matches(*_EXEMPT_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left] + list(node.comparators)
+            if any(_is_benign_constant(operand) for operand in operands):
+                continue
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, _FLAGGED_OPS):
+                    continue
+                name = _secret_name(left) or _secret_name(right)
+                if name is None:
+                    continue
+                yield ctx.finding(
+                    self.rule, node,
+                    f"{name!r} compared with {_op_text(op)!r}; secret "
+                    f"material must go through the crypto backend's "
+                    f"compare_digests / constant_time_compare")
+                break  # one finding per Compare node is enough

@@ -1,0 +1,95 @@
+"""Rule ``determinism``: no wall clock, no unseeded entropy.
+
+Everything the reproduction persists or asserts byte-identity on —
+campaign artifacts, span traces, health checkpoints, sharded/process
+twin merges — is a pure function of seeds and the virtual clock.  One
+``time.time()`` or global-RNG call silently breaks that.  This rule
+forbids the ambient nondeterminism sources outside the CSPRNG module
+(the one place OS entropy may enter, and even there only for
+non-reproducible deployments):
+
+* global-RNG ``random.<fn>()`` calls and unseeded ``Random()`` /
+  ``SystemRandom()`` construction — ``random.Random(seed)`` is the
+  blessed idiom and stays legal;
+* ``time.time`` / ``time.time_ns`` (``perf_counter`` / ``monotonic``
+  stay legal: they only feed operational wall-clock metrics that never
+  enter persisted artifacts);
+* ``datetime.now`` / ``utcnow`` / ``today`` and ``date.today``;
+* ``os.urandom``, ``uuid.uuid1`` / ``uuid4``, and anything in
+  ``secrets``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statics.engine import Checker, FileContext, Finding, dotted_chain
+
+#: Modules allowed to reach for OS entropy / the wall clock.
+_EXEMPT_SUFFIXES = ("repro/crypto/csprng.py",)
+
+_FORBIDDEN_TAILS = {
+    ("time", "time"): "time.time() is wall clock; deterministic paths "
+                      "use the engine's virtual clock",
+    ("time", "time_ns"): "time.time_ns() is wall clock; use the "
+                         "engine's virtual clock",
+    ("datetime", "now"): "datetime.now() is wall clock",
+    ("datetime", "utcnow"): "datetime.utcnow() is wall clock",
+    ("datetime", "today"): "datetime.today() is wall clock",
+    ("date", "today"): "date.today() is wall clock",
+    ("os", "urandom"): "os.urandom is OS entropy; derive from the "
+                       "seeded HMAC-DRBG instead",
+    ("uuid", "uuid1"): "uuid1 mixes in clock and MAC address",
+    ("uuid", "uuid4"): "uuid4 draws OS entropy; derive ids from seeds",
+}
+
+
+class DeterminismChecker(Checker):
+    rule = "determinism"
+    description = ("forbids random/global-RNG, time.time, datetime.now "
+                   "and os.urandom outside the CSPRNG seam")
+    invariant = ("deterministic paths are pure functions of seeds and "
+                 "the virtual clock, so same-seed runs — and "
+                 "sharded/process twins — stay byte-identical")
+    applies_to_tests = True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.matches(*_EXEMPT_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = dotted_chain(node.func)
+            if not chain:
+                continue
+            tail = tuple(chain[-2:]) if len(chain) >= 2 else None
+            if tail in _FORBIDDEN_TAILS:
+                yield ctx.finding(self.rule, node,
+                                  _FORBIDDEN_TAILS[tail])
+                continue
+            if chain[0] == "secrets" and len(chain) > 1:
+                yield ctx.finding(
+                    self.rule, node,
+                    f"secrets.{chain[-1]} draws OS entropy; derive "
+                    f"from the seeded HMAC-DRBG instead")
+                continue
+            # Global-RNG calls: random.random(), random.choice(), ...
+            # getstate/setstate only *inspect* the global RNG — tests
+            # use them to assert nothing else touched it.
+            if chain[0] == "random" and len(chain) == 2 \
+                    and chain[1] not in ("Random", "getstate", "setstate"):
+                yield ctx.finding(
+                    self.rule, node,
+                    f"random.{chain[1]} uses the unseeded global RNG; "
+                    f"construct random.Random(seed) instead")
+                continue
+            # Unseeded construction: Random() / random.Random() with no
+            # arguments seeds from OS entropy.
+            if chain[-1] in ("Random", "SystemRandom") \
+                    and chain[0] in ("random", chain[-1]) \
+                    and not node.args and not node.keywords:
+                yield ctx.finding(
+                    self.rule, node,
+                    f"{'.'.join(chain)}() without a seed draws OS "
+                    f"entropy; pass an explicit seed")

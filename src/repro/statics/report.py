@@ -1,0 +1,45 @@
+"""Render a :class:`~repro.statics.engine.ScanResult` as text or JSON.
+
+The JSON form is byte-stable: findings are sorted, keys are sorted,
+and nothing time- or machine-dependent (timestamps, absolute paths,
+durations) ever enters the document, so the same tree always produces
+the same bytes — CI can diff reports across runs and the regression
+suite pins the exact bytes on a fixture tree.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.statics.engine import ScanResult
+
+REPORT_VERSION = 1
+
+
+def render_text(result: ScanResult) -> str:
+    """Human-readable report: one lint line per finding + a summary."""
+    lines = [finding.render() for finding in result.findings]
+    summary = (f"{len(result.findings)} finding(s) in "
+               f"{result.files_scanned} file(s)"
+               f" [{len(result.baselined)} baselined, "
+               f"{result.suppressed} pragma-suppressed, "
+               f"{len(result.checkers)} checker(s)]")
+    lines.append(summary)
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: ScanResult) -> bytes:
+    """Byte-stable JSON report (sorted findings, sorted keys, no clock)."""
+    payload = {
+        "version": REPORT_VERSION,
+        "tool": "repro.statics",
+        "checkers": sorted(result.checkers),
+        "files_scanned": result.files_scanned,
+        "findings": [finding.to_row()
+                     for finding in sorted(result.findings)],
+        "baselined": [finding.to_row()
+                      for finding in sorted(result.baselined)],
+        "suppressed": result.suppressed,
+    }
+    return (json.dumps(payload, sort_keys=True,
+                       separators=(",", ":")) + "\n").encode("utf-8")

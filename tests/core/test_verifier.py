@@ -175,3 +175,36 @@ def test_verifier_parameter_validation(config):
     verifier = ErasmusVerifier(config)
     with pytest.raises(ValueError):
         verifier.enroll("dev", b"", [])
+
+
+def test_enrollment_epoch_tracks_material_changes(config):
+    verifier = ErasmusVerifier(config)
+    start = verifier._enrollment_epoch
+    verifier.enroll("dev", b"k" * 16, [b"d" * 32])
+    assert verifier._enrollment_epoch == start + 1
+    # Identical re-enrollment: nothing changed, caches stay valid.
+    verifier.enroll("dev", b"k" * 16, [b"d" * 32])
+    assert verifier._enrollment_epoch == start + 1
+    # New key: precompiled judges must be rebuilt.
+    verifier.enroll("dev", b"j" * 16, [b"d" * 32])
+    assert verifier._enrollment_epoch == start + 2
+    # New whitelist: ditto.
+    verifier.enroll("dev", b"j" * 16, [b"e" * 32])
+    assert verifier._enrollment_epoch == start + 3
+
+
+def test_enrollment_key_change_check_is_constant_time(config, monkeypatch):
+    """Re-enrollment key comparison routes through compare_digests."""
+    verifier = ErasmusVerifier(config)
+    verifier.enroll("dev", b"k" * 16, [b"d" * 32])
+    calls = []
+    real = verifier.crypto_backend.compare_digests
+
+    def recorder(left, right):
+        calls.append((bytes(left), bytes(right)))
+        return real(left, right)
+
+    monkeypatch.setattr(verifier.crypto_backend, "compare_digests",
+                        recorder)
+    verifier.enroll("dev", b"k" * 16, [b"d" * 32])
+    assert (b"k" * 16, b"k" * 16) in calls

@@ -1,0 +1,20 @@
+"""Every fleet test runs under the runtime lock-order witness.
+
+Locks the fleet stack creates while a test runs (``fleet.store``,
+``fleet.worker_handle``, ``fleet.worker_pool``, plus the obs locks) are
+witnessed: inverted acquisition orders and held-lock sleeps fail the
+test that produced them, with the offending thread and lock names in
+the report.
+"""
+
+import pytest
+
+from repro.statics.runtime import witness
+
+
+@pytest.fixture(autouse=True)
+def lock_witness():
+    with witness() as active:
+        yield active
+    assert not active.violations, "\n".join(
+        str(violation) for violation in active.violations)

@@ -287,3 +287,37 @@ def test_sharded_thread_mode_shares_one_sqlite_store(tmp_path):
     assert len(reports) == 8
     assert fleet.verifier.store.state_bytes()  # checkpoint written
     fleet.close()
+
+
+class _LockProbeStore(MemoryStore):
+    """Records whether the shared-store lock was held at checkpoint."""
+
+    def __init__(self):
+        super().__init__()
+        self.shared_lock = None
+        self.checkpoint_lock_held = []
+
+    def checkpoint(self, health, last_collection_times,
+                   rounds_completed=0):
+        if self.shared_lock is not None:
+            self.checkpoint_lock_held.append(
+                self.shared_lock._is_owned())
+        super().checkpoint(health, last_collection_times,
+                           rounds_completed=rounds_completed)
+
+
+def test_sharded_checkpoint_goes_through_the_locked_store():
+    """The merged checkpoint must hold the same lock shard writes take.
+
+    A pipelined round can still have a straggler shard appending report
+    rows when the parent checkpoints; writing around the lock would
+    interleave with it on the single-writer backends.
+    """
+    probe = _LockProbeStore()
+    fleet = Fleet.provision(small_profile(), 8, master_secret=b"master",
+                            shards=2, store=probe)
+    probe.shared_lock = fleet.verifier._shared_store._lock
+    fleet.run_until(30.0)
+    fleet.collect_all()
+    assert probe.checkpoint_lock_held
+    assert all(probe.checkpoint_lock_held)

@@ -280,3 +280,55 @@ def test_worker_pool_metrics_record_restarts_and_latency():
         assert obs.worker_restarts_total.value("0") == 1
     finally:
         fleet.close()
+
+
+def test_kill_crashes_an_idle_worker_immediately():
+    """OP_EXIT over the pipe: no task needed, futures fail, slot respawns."""
+    pool = WorkerPool(1, config=small_profile().config)
+    try:
+        generation = pool.ensure_worker(0)
+        assert pool.sync_enrollments(0, []).result(timeout=30) is not None
+        pool.kill(0)
+        assert pool._handles[0].dead.wait(timeout=10)
+        with pytest.raises(WorkerCrashed):
+            pool.submit_task(0, 0.0, [])
+        assert pool.ensure_worker(0) == generation + 1
+        assert pool.restarts[0] == 1
+        assert pool.sync_enrollments(0, []).result(timeout=30) is not None
+    finally:
+        pool.close()
+
+
+def test_kill_without_spawn_is_a_no_op():
+    pool = WorkerPool(1, config=small_profile().config)
+    try:
+        pool.kill(0)  # never spawned: nothing to do, nothing to raise
+    finally:
+        pool.close()
+
+
+def test_drain_rejects_frames_with_unknown_opcodes():
+    """A frame neither error nor result means the codecs disagree;
+    handing its body to decode_result would produce garbage."""
+    import multiprocessing
+    import threading
+    from concurrent.futures import Future
+
+    from repro.fleet.workers import _FRAME, _WorkerHandle
+
+    parent_end, worker_end = multiprocessing.Pipe(duplex=True)
+    pool = WorkerPool(1, config=small_profile().config)
+    handle = _WorkerHandle(process=None, conn=parent_end)
+    future = Future()
+    handle.pending[7] = future
+    reader = threading.Thread(target=pool._drain, args=(0, handle),
+                              daemon=True)
+    reader.start()
+    try:
+        worker_end.send_bytes(_FRAME.pack(99, 7) + b"mystery")
+        with pytest.raises(WorkerError, match="unexpected opcode 99"):
+            future.result(timeout=10)
+    finally:
+        worker_end.close()
+        reader.join(timeout=10)
+        pool.close()

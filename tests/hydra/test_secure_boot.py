@@ -42,3 +42,21 @@ def test_extra_unprovisioned_images_are_ignored():
     images["extra"] = b"not checked"
     boot.boot(images)
     assert boot.booted
+
+
+def test_verify_image_compares_constant_time(monkeypatch):
+    """The digest check must route through the constant-time seam."""
+    calls = []
+    import repro.hydra.secure_boot as secure_boot_module
+    real = secure_boot_module.constant_time_compare
+
+    def recorder(left, right):
+        calls.append((bytes(left), bytes(right)))
+        return real(left, right)
+
+    monkeypatch.setattr(secure_boot_module, "constant_time_compare",
+                        recorder)
+    boot = SecureBoot.provision(IMAGES)
+    assert boot.verify_image("kernel", IMAGES["kernel"])
+    assert not boot.verify_image("kernel", b"forged")
+    assert len(calls) == 2

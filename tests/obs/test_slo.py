@@ -119,6 +119,52 @@ def test_attestation_window_fires_when_the_window_closes_short():
     assert rule.violated_by(FleetHealth())
 
 
+def test_attestation_window_exact_boundary_is_not_a_violation():
+    # 0.07 * 100 is 7.000000000000001 as floats: with a float target,
+    # exactly 7 attested devices would falsely violate.  The rule
+    # compares exact rationals, so the boundary is met, not missed.
+    clock = _Clock()
+    rule = AttestationWindowRule(0.07, window=5.0, expected_devices=100,
+                                 clock=clock)
+    rule.reset()
+    for index in range(7):
+        assert rule.observe(report(device=f"d{index}")) is None
+    clock.now = 9.0  # window closed with exactly 7/100 == 7%
+    assert rule.observe(lost()) is None
+    assert rule.end_of_round() is None
+    assert not rule.violated_by(FleetHealth())
+
+
+def test_attestation_window_one_short_of_boundary_violates():
+    clock = _Clock()
+    rule = AttestationWindowRule(0.07, window=5.0, expected_devices=100,
+                                 clock=clock)
+    rule.reset()
+    for index in range(6):
+        assert rule.observe(report(device=f"d{index}")) is None
+    clock.now = 9.0
+    verdict = rule.observe(lost())
+    assert verdict is not None
+    assert verdict[0] == pytest.approx(0.06)
+
+
+def test_freshness_threshold_uses_decimal_not_binary_float():
+    # The threshold the user wrote is the decimal 0.1; the binary float
+    # 0.1 is a hair *above* it.  With the old Fraction(float) threshold
+    # a measured mean of float-0.1 compared equal and slipped through;
+    # against the exact decimal it (correctly) violates ...
+    import math
+    rule = FreshnessRule(0.1)
+    rule.reset()
+    assert rule.observe(report(freshness=0.1)) is None
+    assert rule.end_of_round() is not None
+    # ... while a mean genuinely below the decimal does not.
+    rule.reset()
+    assert rule.observe(
+        report(freshness=math.nextafter(0.1, 0.0))) is None
+    assert rule.end_of_round() is None
+
+
 def test_rule_constructor_validation():
     with pytest.raises(ValueError):
         LostBudgetRule(-1)

@@ -1,0 +1,39 @@
+"""Shared plumbing for the statics engine tests.
+
+Checker tests lint *source strings*, never real repo files: each
+builds a :class:`FileContext` at an invented relpath (so path-based
+rules — hot-path markers, test detection, module exemptions — can be
+exercised both ways) and runs exactly one checker through the same
+``run_checks`` pipeline the CLI uses, pragmas included.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.statics.engine import FileContext, run_checks
+
+DEFAULT_RELPATH = "src/repro/fleet/module.py"
+
+
+def context_for(source: str, relpath: str = DEFAULT_RELPATH) -> FileContext:
+    return FileContext(Path(relpath), relpath, source,
+                       ast.parse(source))
+
+
+def lint(checker, source: str, relpath: str = DEFAULT_RELPATH):
+    """Findings one checker produces for a source string."""
+    findings, _suppressed = run_checks(context_for(source, relpath),
+                                       [checker], {checker.rule})
+    return findings
+
+
+def rules_hit(checker, source: str, relpath: str = DEFAULT_RELPATH):
+    return [finding.rule for finding in lint(checker, source, relpath)]
+
+
+def write_tree(root: Path, files) -> None:
+    """Materialize a {relpath: source} mapping under ``root``."""
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")

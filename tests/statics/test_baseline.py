@@ -1,0 +1,76 @@
+"""Baseline persistence: round-trip, justification, matching."""
+
+import pytest
+
+from repro.statics.baseline import Baseline, BaselineEntry, BaselineError
+from repro.statics.engine import Finding
+
+
+def finding(line=10):
+    return Finding("src/repro/mod.py", line, 4, "constant-time",
+                   "'mac' compared with '=='")
+
+
+def test_baseline_round_trips_byte_identically(tmp_path):
+    baseline = Baseline.from_findings([finding()], "grandfathered: docs")
+    path = tmp_path / "statics-baseline.json"
+    baseline.save(path)
+    reloaded = Baseline.load(path)
+    assert reloaded.to_bytes() == baseline.to_bytes()
+    assert len(reloaded) == 1
+    assert reloaded.matches(finding())
+
+
+def test_baseline_matches_ignore_line_drift():
+    baseline = Baseline.from_findings([finding(line=10)], "why not")
+    assert baseline.matches(finding(line=99))
+
+
+def test_baseline_does_not_match_a_different_message_or_rule():
+    baseline = Baseline.from_findings([finding()], "why not")
+    other = Finding("src/repro/mod.py", 10, 4, "constant-time",
+                    "different message")
+    assert not baseline.matches(other)
+
+
+def test_baseline_requires_a_justification_on_write():
+    with pytest.raises(BaselineError):
+        Baseline.from_findings([finding()], "   ")
+
+
+def test_baseline_load_rejects_entries_without_justification(tmp_path):
+    path = tmp_path / "statics-baseline.json"
+    path.write_text(
+        '{"version": 1, "entries": [{"rule": "codec", '
+        '"path": "a.py", "line": 1, "message": "m"}]}',
+        encoding="utf-8")
+    with pytest.raises(BaselineError, match="justification"):
+        Baseline.load(path)
+
+
+def test_baseline_load_rejects_malformed_documents(tmp_path):
+    path = tmp_path / "statics-baseline.json"
+    path.write_text("[]", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+    path.write_text("{not json", encoding="utf-8")
+    with pytest.raises(BaselineError):
+        Baseline.load(path)
+
+
+def test_baseline_entry_missing_field_is_an_error():
+    with pytest.raises(BaselineError, match="message"):
+        BaselineEntry.from_row({"rule": "codec", "path": "a.py",
+                                "justification": "x"})
+
+
+def test_baseline_entries_serialize_sorted(tmp_path):
+    unordered = [
+        Finding("z.py", 1, 0, "codec", "m"),
+        Finding("a.py", 5, 0, "determinism", "m"),
+        Finding("a.py", 2, 0, "codec", "m"),
+    ]
+    baseline = Baseline.from_findings(unordered, "sorted on disk")
+    paths = [entry.path for entry in baseline.entries]
+    assert paths == ["a.py", "a.py", "z.py"]
+    assert [entry.line for entry in baseline.entries[:2]] == [2, 5]

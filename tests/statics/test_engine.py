@@ -1,0 +1,149 @@
+"""Engine mechanics: pragmas, ordering, scanning, test detection."""
+
+import ast
+from pathlib import Path
+
+from repro.statics.engine import (
+    FileContext,
+    Finding,
+    parse_pragmas,
+    run_checks,
+    scan_paths,
+)
+from repro.statics.checkers import all_checkers
+from repro.statics.checkers.determinism import DeterminismChecker
+
+from tests.statics.helpers import context_for, lint, write_tree
+
+
+# ----------------------------------------------------------------------
+# Pragmas
+# ----------------------------------------------------------------------
+def test_pragma_on_the_same_line_suppresses():
+    source = ("import time\n"
+              "stamp = time.time()  # statics: ok(determinism)\n")
+    assert lint(DeterminismChecker(), source) == []
+
+
+def test_pragma_on_the_line_above_suppresses_the_next_line():
+    source = ("import time\n"
+              "# statics: ok(determinism) — operational only\n"
+              "stamp = time.time()\n")
+    assert lint(DeterminismChecker(), source) == []
+
+
+def test_pragma_wildcard_suppresses_every_rule():
+    source = ("import time\n"
+              "stamp = time.time()  # statics: ok(*)\n")
+    assert lint(DeterminismChecker(), source) == []
+
+
+def test_pragma_for_a_different_rule_does_not_suppress():
+    source = ("import time\n"
+              "stamp = time.time()  # statics: ok(constant-time)\n")
+    ctx = context_for(source)
+    findings, _ = run_checks(
+        ctx, [DeterminismChecker()],
+        {checker.rule for checker in all_checkers()})
+    assert [finding.rule for finding in findings] == ["determinism"]
+
+
+def test_pragma_in_a_docstring_is_inert():
+    # The docs *describe* the pragma syntax; tokenize-based parsing
+    # must not treat prose as a suppression (or as an unknown-rule
+    # pragma finding).
+    source = ('"""Write # statics: ok(some-imaginary-rule) to opt out.\n'
+              '"""\n'
+              "import time\n"
+              "stamp = time.time()\n")
+    assert parse_pragmas(source) == {}
+    findings = lint(DeterminismChecker(), source)
+    assert [finding.rule for finding in findings] == ["determinism"]
+
+
+def test_pragma_naming_an_unknown_rule_is_itself_a_finding():
+    source = "value = 1  # statics: ok(no-such-rule)\n"
+    ctx = context_for(source)
+    findings, _ = run_checks(ctx, [DeterminismChecker()],
+                             {"determinism"})
+    assert [finding.rule for finding in findings] == ["pragma"]
+    assert "no-such-rule" in findings[0].message
+
+
+def test_pragma_rule_list_is_comma_separated():
+    pragmas = parse_pragmas(
+        "x = 1  # statics: ok(determinism, constant-time)\n")
+    assert pragmas == {1: {"determinism", "constant-time"}}
+
+
+# ----------------------------------------------------------------------
+# Findings
+# ----------------------------------------------------------------------
+def test_findings_order_by_location_then_rule():
+    rows = [
+        Finding("b.py", 1, 0, "zeta", "m"),
+        Finding("a.py", 9, 0, "alpha", "m"),
+        Finding("a.py", 2, 4, "beta", "m"),
+        Finding("a.py", 2, 0, "beta", "m"),
+    ]
+    assert [f.path for f in sorted(rows)] == ["a.py", "a.py", "a.py",
+                                              "b.py"]
+    assert [(f.line, f.col) for f in sorted(rows)[:3]] == \
+        [(2, 0), (2, 4), (9, 0)]
+
+
+def test_finding_render_is_the_classic_lint_line():
+    finding = Finding("src/m.py", 3, 4, "codec", "boom")
+    assert finding.render() == "src/m.py:3:4: codec error: boom"
+
+
+# ----------------------------------------------------------------------
+# File classification
+# ----------------------------------------------------------------------
+def test_test_files_are_detected_and_skipped_by_test_exempt_rules():
+    source = "flag = device_key == expected_mac\n"
+    from repro.statics.checkers.constant_time import ConstantTimeChecker
+    assert lint(ConstantTimeChecker(), source,
+                relpath="tests/fleet/test_x.py") == []
+    assert lint(ConstantTimeChecker(), source,
+                relpath="src/repro/fleet/x.py") != []
+
+
+def test_conftest_counts_as_a_test_file():
+    ctx = FileContext(Path("conftest.py"), "conftest.py", "",
+                      ast.parse(""))
+    assert ctx.is_test
+
+
+# ----------------------------------------------------------------------
+# scan_paths
+# ----------------------------------------------------------------------
+def test_scan_paths_reports_unparsable_files_as_parse_findings(tmp_path):
+    write_tree(tmp_path, {"pkg/broken.py": "def broken(:\n"})
+    result = scan_paths([tmp_path], all_checkers(),
+                        relative_to=tmp_path)
+    assert [finding.rule for finding in result.findings] == ["parse"]
+    assert result.findings[0].path == "pkg/broken.py"
+
+
+def test_scan_paths_skips_hidden_and_pycache_trees(tmp_path):
+    write_tree(tmp_path, {
+        "pkg/ok.py": "value = 1\n",
+        "pkg/__pycache__/junk.py": "import time\ntime.time()\n",
+        ".hidden/junk.py": "import time\ntime.time()\n",
+    })
+    result = scan_paths([tmp_path], all_checkers(),
+                        relative_to=tmp_path)
+    assert result.files_scanned == 1
+    assert result.findings == []
+
+
+def test_scan_paths_is_clean_on_a_clean_tree(tmp_path):
+    write_tree(tmp_path, {"pkg/mod.py": (
+        "from fractions import Fraction\n"
+        "def mean(total, count):\n"
+        "    return Fraction(total, count)\n")})
+    result = scan_paths([tmp_path], all_checkers(),
+                        relative_to=tmp_path)
+    assert result.clean
+    assert result.files_scanned == 1

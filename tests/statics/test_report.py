@@ -1,0 +1,76 @@
+"""Report rendering — including the pinned-bytes JSON regression.
+
+``expected_report.json`` in ``fixtures/`` is the byte-exact report for
+the fixture tree below.  If it ever changes without a deliberate
+report-format bump, the JSON output is no longer stable across runs —
+which breaks CI report diffing.
+"""
+
+from pathlib import Path
+
+from repro.statics.baseline import Baseline
+from repro.statics.checkers import all_checkers
+from repro.statics.engine import scan_paths
+from repro.statics.report import render_json, render_text
+
+from tests.statics.helpers import write_tree
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+#: A tiny tree with one deterministic finding per interesting shape:
+#: a wall-clock call, a secret comparison, a float threshold, a
+#: codec gap, plus one pragma suppression and one baselined finding.
+FIXTURE_TREE = {
+    "pkg/clock.py": ("import time\n"
+                     "stamp = time.time()\n"),
+    "pkg/compare.py": ("def check(expected_mac, got):\n"
+                       "    return expected_mac == got\n"),
+    "pkg/threshold.py": ("from fractions import Fraction\n"
+                         "limit = Fraction(max_mean_seconds)\n"),
+    "pkg/frames.py": ("OP_PING = 1\n"
+                      "OP_LOST = 2\n"
+                      "def send(conn, rid):\n"
+                      "    conn.send(pack(OP_PING, rid))\n"
+                      "    conn.send(pack(OP_LOST, rid))\n"
+                      "def dispatch(opcode):\n"
+                      "    return opcode == OP_PING\n"),
+    "pkg/tolerated.py": ("import time\n"
+                         "t = time.time()  # statics: ok(determinism)\n"),
+    "pkg/grandfathered.py": ("def legacy(session_token, expected):\n"
+                             "    return session_token == expected\n"),
+}
+
+BASELINE_JUSTIFICATION = "fixture: grandfathered for the report test"
+
+
+def scan_fixture_tree(root: Path):
+    write_tree(root, FIXTURE_TREE)
+    grandfathered = scan_paths([root / "pkg/grandfathered.py"],
+                               all_checkers(), relative_to=root)
+    baseline = Baseline.from_findings(grandfathered.findings,
+                                      BASELINE_JUSTIFICATION)
+    return scan_paths([root], all_checkers(), baseline=baseline,
+                      relative_to=root)
+
+
+def test_json_report_bytes_are_pinned(tmp_path):
+    result = scan_fixture_tree(tmp_path)
+    expected = (FIXTURES / "expected_report.json").read_bytes()
+    assert render_json(result) == expected
+
+
+def test_json_report_is_identical_across_runs(tmp_path):
+    first = render_json(scan_fixture_tree(tmp_path / "a"))
+    second = render_json(scan_fixture_tree(tmp_path / "b"))
+    assert first == second
+
+
+def test_text_report_lines_and_summary(tmp_path):
+    result = scan_fixture_tree(tmp_path)
+    text = render_text(result)
+    lines = text.splitlines()
+    assert lines[:-1] == [finding.render()
+                          for finding in result.findings]
+    assert "1 baselined" in lines[-1]
+    assert "1 pragma-suppressed" in lines[-1]
+    assert f"{len(result.findings)} finding(s)" in lines[-1]

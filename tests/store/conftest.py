@@ -1,0 +1,18 @@
+"""Store tests run under the runtime lock-order witness.
+
+The shared-store path (``_LockedStore`` wrapping a JSONL/SQLite
+backend) is where a lock-order inversion would deadlock a sharded
+round; witnessing every store test keeps the discipline honest.
+"""
+
+import pytest
+
+from repro.statics.runtime import witness
+
+
+@pytest.fixture(autouse=True)
+def lock_witness():
+    with witness() as active:
+        yield active
+    assert not active.violations, "\n".join(
+        str(violation) for violation in active.violations)
